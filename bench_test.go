@@ -1,0 +1,389 @@
+// Package repro's top-level benchmarks regenerate every table and
+// figure of the paper (at the Tiny scale so `go test -bench .` stays
+// fast; run `ibsim -scale full` for paper-scale numbers) and measure
+// the hot paths of the core library.  EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by these harnesses.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/arbtable"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/sl"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+// --- Experiment benchmarks: one per table/figure (DESIGN.md T1-A3) ---
+
+// BenchmarkTable1SLConfig regenerates Table 1 (service levels).
+func BenchmarkTable1SLConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 10 {
+			b.Fatal("bad Table 1")
+		}
+	}
+}
+
+// evaluate runs the paired small/large simulation once per iteration.
+func evaluate(b *testing.B) *experiments.Evaluation {
+	b.Helper()
+	ev, err := experiments.Evaluate(experiments.Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+// BenchmarkTable2Throughput regenerates Table 2 (traffic, utilization
+// and reservation for both packet sizes).
+func BenchmarkTable2Throughput(b *testing.B) {
+	var last [2]experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		last = evaluate(b).Table2()
+	}
+	b.ReportMetric(last[0].HostUtilization, "%util-small")
+	b.ReportMetric(last[1].HostUtilization, "%util-large")
+	b.ReportMetric(last[0].DeadlineMetPercent, "%deadline-small")
+	b.ReportMetric(last[1].DeadlineMetPercent, "%deadline-large")
+}
+
+// BenchmarkFigure4DelayDistribution regenerates Figure 4 (packet delay
+// distribution per SL, both packet sizes).
+func BenchmarkFigure4DelayDistribution(b *testing.B) {
+	var f4 experiments.Figure4Result
+	for i := 0; i < b.N; i++ {
+		f4 = evaluate(b).Figure4()
+	}
+	// The paper's claim: every SL delivers all packets by the deadline.
+	worst := 100.0
+	for _, s := range append(f4.Small, f4.Large...) {
+		if p := s.Percent[len(s.Percent)-1]; p < worst {
+			worst = p
+		}
+	}
+	b.ReportMetric(worst, "%worst-SL-deadline")
+}
+
+// BenchmarkFigure5Jitter regenerates Figure 5 (jitter per SL).
+func BenchmarkFigure5Jitter(b *testing.B) {
+	var series []experiments.JitterSeries
+	for i := 0; i < b.N; i++ {
+		series = evaluate(b).Figure5()
+	}
+	central := 100.0
+	for _, s := range series {
+		if s.Samples > 10 && s.Percent[5] < central {
+			central = s.Percent[5]
+		}
+	}
+	b.ReportMetric(central, "%worst-central-jitter")
+}
+
+// BenchmarkFigure6BestWorst regenerates Figure 6 (best vs worst
+// connection of the strictest SLs).
+func BenchmarkFigure6BestWorst(b *testing.B) {
+	var series []experiments.BestWorstSeries
+	for i := 0; i < b.N; i++ {
+		series = evaluate(b).Figure6()
+	}
+	spread := 0.0
+	for _, s := range series {
+		for i := range s.Best {
+			if d := s.Best[i] - s.Worst[i]; d > spread {
+				spread = d
+			}
+		}
+	}
+	b.ReportMetric(spread, "max-best-worst-spread-pp")
+}
+
+// BenchmarkAblationPrioritySplit regenerates the priority-split
+// ablation (DB victim goodput, new vs old scheme).
+func BenchmarkAblationPrioritySplit(b *testing.B) {
+	var res experiments.PrioritySplitResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationPrioritySplit(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.NewSchemeGoodput, "goodput-new")
+	b.ReportMetric(res.OldSchemeGoodput, "goodput-old")
+}
+
+// BenchmarkAblationFillStrategies regenerates the fill-policy ablation
+// (bit-reversal vs natural first fit).
+func BenchmarkAblationFillStrategies(b *testing.B) {
+	var rows [2]experiments.FillPolicyResult
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationFillPolicies(20, 3)
+	}
+	b.ReportMetric(rows[0].MeanFillUntilReject, "fills-bitrev")
+	b.ReportMetric(rows[1].MeanFillUntilReject, "fills-natural")
+	b.ReportMetric(rows[1].Serviceability, "serviceability-natural")
+}
+
+// BenchmarkScalingNetworkSize regenerates the network-size sweep (the
+// paper evaluates 8-64 switches and reports similar results).
+func BenchmarkScalingNetworkSize(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Scaling(experiments.Tiny(), []int{2, 4})
+	}
+	worst := 100.0
+	for _, r := range rows {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		if r.DeadlineMetPercent < worst {
+			worst = r.DeadlineMetPercent
+		}
+	}
+	b.ReportMetric(worst, "%worst-deadline")
+}
+
+// --- Micro-benchmarks on the hot paths ---
+
+// BenchmarkAllocate measures the fill-in algorithm: a burst of mixed
+// allocations filling the table, then a reset.
+func BenchmarkAllocate(b *testing.B) {
+	distances := []int{64, 32, 16, 8}
+	table := arbtable.New(arbtable.UnlimitedHigh)
+	alloc := core.NewAllocator(table)
+	var live []core.SeqID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := alloc.Allocate(uint8(i%14), distances[i%len(distances)], 1+i%500)
+		if err != nil {
+			// Table full: release everything and continue.
+			b.StopTimer()
+			for _, id := range live {
+				seq := alloc.Lookup(id)
+				if seq != nil {
+					alloc.RemoveWeight(id, seq.Weight)
+				}
+			}
+			live = live[:0]
+			b.StartTimer()
+			continue
+		}
+		live = append(live, s.ID)
+	}
+}
+
+// BenchmarkReserveRelease measures the sharing layer under churn,
+// including defragmentation on release.
+func BenchmarkReserveRelease(b *testing.B) {
+	port := core.NewPortTable(arbtable.New(arbtable.UnlimitedHigh))
+	for i := 0; i < b.N; i++ {
+		r1, err := port.Reserve(uint8(i%10), 8, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := port.Reserve(uint8(i%10), 32, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		port.Release(r1)
+		port.Release(r2)
+	}
+}
+
+// BenchmarkDefragment measures a worst-ish-case defragmentation pass:
+// a fragmented table with sequences of every size.
+func BenchmarkDefragment(b *testing.B) {
+	build := func() *core.Allocator {
+		a := core.NewAllocator(arbtable.New(arbtable.UnlimitedHigh))
+		ids := make([]core.SeqID, 0, 16)
+		for i := 0; i < 16; i++ {
+			s, err := a.Allocate(uint8(i%14), 16, 200)
+			if err != nil {
+				break
+			}
+			ids = append(ids, s.ID)
+		}
+		// Free every other sequence without letting the release-side
+		// defragmentation tidy up, by using the naive policy? No —
+		// release defragments; measure the pass on the live layout.
+		for i := 0; i < len(ids); i += 2 {
+			if s := a.Lookup(ids[i]); s != nil {
+				a.RemoveWeight(ids[i], s.Weight)
+			}
+		}
+		return a
+	}
+	a := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Defragment()
+	}
+}
+
+// BenchmarkArbiterPick measures the output-port scheduler under a
+// loaded table.
+func BenchmarkArbiterPick(b *testing.B) {
+	table := arbtable.New(2)
+	alloc := core.NewAllocator(table)
+	for i := 0; i < 8; i++ {
+		if _, err := alloc.Allocate(uint8(i), 8, 100+i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	table.Low = []arbtable.Entry{{VL: 10, Weight: 8}, {VL: 11, Weight: 4}}
+	arb := arbtable.NewArbiter(table)
+	var ready arbtable.Ready
+	for vl := 0; vl < 8; vl++ {
+		ready[vl] = 282
+	}
+	ready[10], ready[11] = 282, 282
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := arb.Pick(&ready); !ok {
+			b.Fatal("nothing picked")
+		}
+	}
+}
+
+// BenchmarkRouting measures up*/down* route computation for the
+// paper's 16-switch network.
+func BenchmarkRouting(b *testing.B) {
+	topo, err := topology.Generate(16, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.Compute(topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine measures raw event throughput of the simulation
+// core.
+func BenchmarkEngine(b *testing.B) {
+	var e sim.Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.At(0, tick)
+	e.Run(int64(b.N) + 10)
+}
+
+// BenchmarkFillUntilReject measures the acceptance trial used by the
+// fill-policy ablation.
+func BenchmarkFillUntilReject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		baseline.FillUntilReject(int64(i), core.BitReversal)
+	}
+}
+
+// BenchmarkDelayCDF measures the statistics hot path (one Add per
+// delivered packet in the simulator).
+func BenchmarkDelayCDF(b *testing.B) {
+	d := stats.NewDelayCDF()
+	for i := 0; i < b.N; i++ {
+		d.Add(float64(i%100) / 100)
+	}
+}
+
+// BenchmarkAblationVLCollapse regenerates the VL-collapse ablation.
+func BenchmarkAblationVLCollapse(b *testing.B) {
+	var rows []experiments.VLCollapseRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationVLCollapse(experiments.Tiny(), []int{15, 4})
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Connections), "conns-15vl")
+	b.ReportMetric(float64(rows[1].Connections), "conns-4vl")
+}
+
+// BenchmarkAblationSwitchModels regenerates the switch-model ablation.
+func BenchmarkAblationSwitchModels(b *testing.B) {
+	var rows []experiments.SwitchModelRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.AblationSwitchModels(experiments.Tiny(), []int{1, 2})
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportMetric(rows[0].WorstDelayRatio, "worst-delay-speedup1")
+	b.ReportMetric(rows[1].WorstDelayRatio, "worst-delay-speedup2")
+}
+
+// BenchmarkExtensionVBR regenerates the VBR reservation experiment.
+func BenchmarkExtensionVBR(b *testing.B) {
+	var res experiments.VBRResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.AblationVBR(11, 4, 8, 2, 10)
+	}
+	if res.MeanReserved.Err != nil || res.PeakReserved.Err != nil {
+		b.Fatal(res.MeanReserved.Err, res.PeakReserved.Err)
+	}
+	b.ReportMetric(res.MeanReserved.WorstDelayRatio, "worst-mean-reserved")
+	b.ReportMetric(res.PeakReserved.WorstDelayRatio, "worst-peak-reserved")
+}
+
+// BenchmarkTransportMessages measures message segmentation,
+// transmission and reassembly throughput end to end.
+func BenchmarkTransportMessages(b *testing.B) {
+	net, err := fabric.New(fabric.DefaultConfig(2, 256, 41))
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := net.Adm.Admit(traffic.Request{Src: 0, Dst: 7, Level: sl.DefaultLevels[9], Mbps: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := net.AddConnection(conn)
+	f.IAT = 1 << 40
+	m := transport.NewMessenger(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Send(f, 4096); err != nil {
+			b.Fatal(err)
+		}
+		net.Engine.Run(net.Engine.Now() + 1<<19)
+		if m.Inflight() != 0 {
+			b.Fatal("message stuck")
+		}
+	}
+}
+
+// BenchmarkReconfiguration regenerates the control-plane study:
+// subnet-manager bring-up plus recovery from every single-link
+// failure.
+func BenchmarkReconfiguration(b *testing.B) {
+	var res experiments.ReconfigResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Reconfiguration(8, 7, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.MeanSurvival, "%mean-survival")
+	b.ReportMetric(res.MeanReconfMADs, "reconf-MADs")
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// jsonReport is the machine-readable form of a full evaluation,
+// emitted by ibsim -json.
+type jsonReport struct {
+	Scale      string                        `json:"scale"`
+	Switches   int                           `json:"switches"`
+	Seed       int64                         `json:"seed"`
+	Thresholds []float64                     `json:"delayThresholds"`
+	Table1     []experiments.Table1Row       `json:"table1"`
+	Table2     [2]experiments.Table2Row      `json:"table2"`
+	Figure4    experiments.Figure4Result     `json:"figure4"`
+	Figure5    []experiments.JitterSeries    `json:"figure5Small"`
+	Figure5L   []experiments.JitterSeries    `json:"figure5Large"`
+	Figure6    []experiments.BestWorstSeries `json:"figure6"`
+	BySL       []experiments.SLBreakdownRow  `json:"connectionsBySL"`
+}
+
+// emitJSON runs the paired evaluation and writes one JSON document to
+// stdout.
+func emitJSON(p experiments.Params, scale string) error {
+	ev, err := experiments.Evaluate(p)
+	if err != nil {
+		return err
+	}
+	rep := jsonReport{
+		Scale:      scale,
+		Switches:   p.Switches,
+		Seed:       p.Seed,
+		Thresholds: stats.DelayFractions,
+		Table1:     experiments.Table1(),
+		Table2:     ev.Table2(),
+		Figure4:    ev.Figure4(),
+		Figure5:    ev.Figure5(),
+		Figure5L:   experiments.Figure5For(ev.Large),
+		Figure6:    ev.Figure6(),
+		BySL:       ev.Small.SLBreakdown(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("encoding report: %w", err)
+	}
+	return nil
+}

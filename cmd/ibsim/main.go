@@ -1,0 +1,183 @@
+// Command ibsim runs the paper's evaluation experiments and prints the
+// tables and figures of Alfaro, Sánchez and Duato (ICPP 2003).
+//
+// Usage:
+//
+//	ibsim -exp all                  # every table and figure, full scale
+//	ibsim -exp table2 -scale quick  # one experiment, reduced scale
+//	ibsim -exp scaling -sizes 8,16,32,64
+//
+// Experiments: table1, table2, figure4, figure5, figure6,
+// ablation-priority, ablation-fill, ablation-vl, ablation-switch,
+// scaling, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|all")
+		scale    = flag.String("scale", "full", "scale preset: tiny|quick|full")
+		seed     = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
+		switches = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
+		sizes    = flag.String("sizes", "8,16,32", "network sizes for -exp scaling")
+		traces   = flag.Int("traces", 50, "request traces for -exp ablation-fill")
+		asJSON   = flag.Bool("json", false, "emit the full evaluation as one JSON document (ignores -exp)")
+		withViz  = flag.Bool("viz", false, "render figures 4 and 5 as terminal charts too")
+	)
+	flag.Parse()
+
+	p, err := params(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *switches != 0 {
+		p.Switches = *switches
+	}
+
+	start := time.Now()
+	if *asJSON {
+		if err := emitJSON(p, *scale); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\n[json in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	switch *exp {
+	case "table1":
+		experiments.PrintTable1(os.Stdout)
+	case "table2", "figure4", "figure5", "figure6", "all":
+		runEvaluation(p, *exp, *withViz)
+	case "ablation-priority":
+		res, err := experiments.AblationPrioritySplit(p.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintPrioritySplit(os.Stdout, res)
+	case "ablation-fill":
+		experiments.PrintFillPolicies(os.Stdout, experiments.AblationFillPolicies(*traces, p.Seed))
+	case "ablation-vl":
+		experiments.PrintVLCollapse(os.Stdout, experiments.AblationVLCollapse(p, []int{15, 8, 4}))
+	case "ablation-switch":
+		experiments.PrintSwitchModels(os.Stdout, experiments.AblationSwitchModels(p, []int{1, 2, 4}))
+	case "vbr":
+		experiments.PrintVBR(os.Stdout, experiments.AblationVBR(p.Seed, 4, 8, 4, 60))
+	case "reconfig":
+		res, err := experiments.Reconfiguration(p.Switches, p.Seed, 40*p.Switches)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintReconfig(os.Stdout, res)
+	case "scaling":
+		ns, err := parseSizes(*sizes)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintScaling(os.Stdout, experiments.Scaling(p, ns))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
+}
+
+// runEvaluation executes the paired small/large-packet simulation and
+// prints the requested artifacts (or all of them).
+func runEvaluation(p experiments.Params, which string, withViz bool) {
+	ev, err := experiments.Evaluate(p)
+	if err != nil {
+		fatal(err)
+	}
+	printAll := which == "all"
+	if printAll {
+		experiments.PrintTable1(os.Stdout)
+		fmt.Println()
+	}
+	if printAll || which == "table2" {
+		experiments.PrintTable2(os.Stdout, ev.Table2())
+		fmt.Println()
+		experiments.PrintSLBreakdown(os.Stdout, "Small packets", ev.Small.SLBreakdown())
+		fmt.Println()
+	}
+	if printAll || which == "figure4" {
+		f4 := ev.Figure4()
+		experiments.PrintFigure4(os.Stdout, "Figure 4a (small packets)", f4.Small)
+		fmt.Println()
+		experiments.PrintFigure4(os.Stdout, "Figure 4b (large packets)", f4.Large)
+		fmt.Println()
+		if withViz {
+			fmt.Println("Figure 4b as CDF sparklines (thresholds D/32 .. D):")
+			for _, s := range f4.Large {
+				fmt.Println("  " + viz.CDFRow(fmt.Sprintf("SL %d", s.SL), s.Percent))
+			}
+			fmt.Println()
+		}
+	}
+	if printAll || which == "figure5" {
+		experiments.PrintFigure5(os.Stdout, "Figure 5 (small packets)", ev.Figure5())
+		fmt.Println()
+		experiments.PrintFigure5(os.Stdout, "Figure 5 (large packets)", experiments.Figure5For(ev.Large))
+		fmt.Println()
+		if withViz {
+			fmt.Println("Figure 5 jitter histograms (buckets -IAT .. +IAT):")
+			for _, s := range ev.Figure5() {
+				fmt.Printf("  SL %d %s\n", s.SL, viz.Spark(s.Percent[:], 100))
+			}
+			fmt.Println()
+		}
+	}
+	if printAll || which == "figure6" {
+		experiments.PrintFigure6(os.Stdout, ev.Figure6())
+		fmt.Println()
+	}
+	if printAll {
+		res, err := experiments.AblationPrioritySplit(p.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintPrioritySplit(os.Stdout, res)
+		fmt.Println()
+		experiments.PrintFillPolicies(os.Stdout, experiments.AblationFillPolicies(50, p.Seed))
+	}
+}
+
+func params(scale string) (experiments.Params, error) {
+	switch scale {
+	case "tiny":
+		return experiments.Tiny(), nil
+	case "quick":
+		return experiments.Quick(), nil
+	case "full":
+		return experiments.Full(), nil
+	}
+	return experiments.Params{}, fmt.Errorf("unknown scale %q", scale)
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %v", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 8, 16,32 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 16, 32}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSizes = %v, want %v", got, want)
+		}
+	}
+	if _, err := parseSizes("8,x"); err == nil {
+		t.Error("bad size list accepted")
+	}
+}
+
+func TestParamsPresets(t *testing.T) {
+	for _, scale := range []string{"tiny", "quick", "full"} {
+		p, err := params(scale)
+		if err != nil {
+			t.Fatalf("%s: %v", scale, err)
+		}
+		if p.Switches < 2 {
+			t.Errorf("%s: switches = %d", scale, p.Switches)
+		}
+	}
+	if _, err := params("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

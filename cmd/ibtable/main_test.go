@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/arbtable"
+	"repro/internal/core"
+)
+
+func TestParse3(t *testing.T) {
+	vl, d, w, err := parse3([]string{"alloc", "3", "8", "100"})
+	if err != nil || vl != 3 || d != 8 || w != 100 {
+		t.Fatalf("parse3 = (%d,%d,%d,%v)", vl, d, w, err)
+	}
+	if _, _, _, err := parse3([]string{"alloc", "3", "8"}); err == nil {
+		t.Error("short command accepted")
+	}
+	if _, _, _, err := parse3([]string{"alloc", "x", "8", "100"}); err == nil {
+		t.Error("non-numeric argument accepted")
+	}
+}
+
+func TestRenderDoesNotPanic(t *testing.T) {
+	alloc := core.NewAllocator(arbtable.New(arbtable.UnlimitedHigh))
+	render(alloc) // empty table
+	for i := 0; i < 5; i++ {
+		if _, err := alloc.Allocate(uint8(i), 8, 50+i*60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	render(alloc) // populated table
+}

@@ -1,0 +1,97 @@
+// Command ibtopo generates the irregular topologies of the evaluation
+// and reports their structure and routing properties: adjacency,
+// spanning-tree levels, and the path-length histogram of the up*/down*
+// routes.
+//
+// Usage:
+//
+//	ibtopo -switches 16 -seed 42
+//	ibtopo -switches 64 -seed 7 -adjacency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		switches  = flag.Int("switches", 16, "number of switches")
+		seed      = flag.Int64("seed", 42, "random seed")
+		adjacency = flag.Bool("adjacency", false, "print the full adjacency list")
+	)
+	flag.Parse()
+
+	topo, err := topology.Generate(*switches, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		fatal(err)
+	}
+	routes, err := routing.Compute(topo)
+	if err != nil {
+		fatal(err)
+	}
+	if err := routes.CheckLegal(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("topology: %d switches, %d hosts, seed %d\n", topo.NumSwitches, topo.NumHosts(), *seed)
+
+	links := 0
+	maxLevel := 0
+	for s := 0; s < topo.NumSwitches; s++ {
+		links += len(topo.Neighbors(s))
+		if routes.Level(s) > maxLevel {
+			maxLevel = routes.Level(s)
+		}
+	}
+	fmt.Printf("inter-switch links: %d (directed port pairs: %d)\n", links/2, links)
+	fmt.Printf("spanning tree depth: %d\n", maxLevel)
+
+	if *adjacency {
+		for s := 0; s < topo.NumSwitches; s++ {
+			fmt.Printf("switch %2d (level %d):", s, routes.Level(s))
+			for _, nb := range topo.Neighbors(s) {
+				fmt.Printf(" %d(p%d)", nb.Switch, nb.Port)
+			}
+			fmt.Println()
+		}
+	}
+
+	// Path-length histogram over all host pairs (in switches visited).
+	hist := map[int]int{}
+	total, sum := 0, 0
+	for src := 0; src < topo.NumHosts(); src++ {
+		for dst := 0; dst < topo.NumHosts(); dst++ {
+			if src == dst {
+				continue
+			}
+			path, err := routes.PathSwitches(src, dst)
+			if err != nil {
+				fatal(err)
+			}
+			hist[len(path)]++
+			total++
+			sum += len(path)
+		}
+	}
+	fmt.Println("route length histogram (switches on path):")
+	for l := 1; l <= topo.NumSwitches; l++ {
+		if hist[l] == 0 {
+			continue
+		}
+		fmt.Printf("  %2d: %6d (%.1f%%)\n", l, hist[l], 100*float64(hist[l])/float64(total))
+	}
+	fmt.Printf("mean route length: %.2f switches\n", float64(sum)/float64(total))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibtopo:", err)
+	os.Exit(1)
+}

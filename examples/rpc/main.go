@@ -1,0 +1,97 @@
+// RPC: message latency over QoS-reserved connections.
+//
+// Applications do not see packets — they see messages.  This example
+// runs a request/response workload over the fabric's transport layer
+// (segmentation and reassembly, as IBA reliable connections provide)
+// and shows how the per-packet arbitration guarantees compose into
+// message-level latency:
+//
+//   - small RPCs on a strict service level (SL 2) keep tight, stable
+//     latency even while
+//   - bulk transfers (SL 9) and a saturating best-effort background
+//     hammer the same links.
+//
+// Run with: go run ./examples/rpc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fabric"
+	"repro/internal/sl"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+func main() {
+	net, err := fabric.New(fabric.DefaultConfig(4, 256, 77))
+	if err != nil {
+		log.Fatal(err)
+	}
+	messenger := transport.NewMessenger(net)
+
+	connect := func(src, dst, level int, mbps float64) *fabric.Flow {
+		conn, err := net.Adm.Admit(traffic.Request{
+			Src: src, Dst: dst, Level: sl.DefaultLevels[level], Mbps: mbps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := net.AddConnection(conn)
+		f.IAT = 1 << 40 // transport drives the traffic, not the CBR generator
+		return f
+	}
+
+	// Four RPC clients (1 KB requests on SL 2) and two bulk movers
+	// (64 KB transfers on SL 9).
+	var rpcFlows, bulkFlows []*fabric.Flow
+	for i := 0; i < 4; i++ {
+		rpcFlows = append(rpcFlows, connect(i, 8+i, 2, 4))
+	}
+	for i := 0; i < 2; i++ {
+		bulkFlows = append(bulkFlows, connect(4+i, 12+i, 9, 64))
+	}
+	// Best-effort background noise from every host.
+	for _, be := range traffic.BestEffortBackground(net.Topo.NumHosts(), 400, 3) {
+		net.AddBestEffort(be)
+	}
+
+	const (
+		rpcSize      = 1024
+		rpcInterval  = 600_000 // byte times between requests
+		bulkSize     = 64 * 1024
+		bulkInterval = 2_300_000
+	)
+	for _, f := range rpcFlows {
+		messenger.Stream(f, rpcSize, rpcInterval)
+	}
+	for _, f := range bulkFlows {
+		messenger.Stream(f, bulkSize, bulkInterval)
+	}
+
+	net.Start()
+	net.Engine.Run(30_000_000) // 120 ms of fabric time
+	net.StopGeneration()
+	net.Engine.Run(net.Engine.Now() + 5_000_000)
+
+	var rpcLat, bulkLat stats.Accum
+	for _, m := range messenger.Completed() {
+		us := float64(m.Latency()) * sl.ByteTimeNs / 1000
+		if m.Size == rpcSize {
+			rpcLat.Add(us)
+		} else {
+			bulkLat.Add(us)
+		}
+	}
+	fmt.Printf("RPC  (1 KB, SL2):  %4d messages, latency µs: %s\n", rpcLat.N, rpcLat.String())
+	fmt.Printf("bulk (64 KB, SL9): %4d messages, latency µs: %s\n", bulkLat.N, bulkLat.String())
+	if messenger.OutOfOrder != 0 {
+		log.Fatalf("%d segments arrived out of order", messenger.OutOfOrder)
+	}
+	if messenger.Inflight() != 0 {
+		log.Fatalf("%d messages stuck in flight", messenger.Inflight())
+	}
+	fmt.Println("\nall messages reassembled in order; RPC latency stays microsecond-stable under bulk + best-effort load")
+}

@@ -1,0 +1,288 @@
+// Package admission implements connection admission control: a
+// request is studied at every arbitration point on its path — the
+// source host interface and each switch output port — and accepted
+// only when all of them can reserve the requested weight at the
+// service level's table distance (paper section 4.2).  On acceptance
+// the weight is written into the arbitration tables (joining an
+// existing sequence of the same VL when one has room); a failure at
+// any hop rolls back the hops already reserved.
+package admission
+
+import (
+	"fmt"
+
+	"repro/internal/arbtable"
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/sl"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Ports owns one arbitration table per output port of the network:
+// one per host (the host channel adapter's injection port) and one per
+// switch port.  The simulator's arbiters read the same tables the
+// admission controller writes.
+type Ports struct {
+	Host   []*core.PortTable   // indexed by host
+	Switch [][]*core.PortTable // [switch][port]
+}
+
+// NewPorts builds empty tables for every output port of the topology.
+// All tables use an unlimited high-priority allowance except where the
+// caller overrides Limit afterwards.
+func NewPorts(topo *topology.Topology, limit uint8) *Ports {
+	p := &Ports{
+		Host:   make([]*core.PortTable, topo.NumHosts()),
+		Switch: make([][]*core.PortTable, topo.NumSwitches),
+	}
+	for h := range p.Host {
+		p.Host[h] = core.NewPortTable(arbtable.New(limit))
+	}
+	for s := range p.Switch {
+		p.Switch[s] = make([]*core.PortTable, topology.SwitchPorts)
+		for q := range p.Switch[s] {
+			p.Switch[s][q] = core.NewPortTable(arbtable.New(limit))
+		}
+	}
+	return p
+}
+
+// hop identifies one arbitration point on a path.
+type hop struct {
+	table *core.PortTable
+	res   core.Reservation
+}
+
+// Conn is an admitted connection: the request plus everything derived
+// during admission that the traffic generator and the measurement code
+// need.
+type Conn struct {
+	ID  int
+	Req traffic.Request
+
+	Weight   int   // arbitration-table weight reserved per hop
+	Hops     int   // arbitration points: 1 (host interface) + switches
+	Deadline int64 // end-to-end guarantee in byte times
+
+	hops []hop
+}
+
+// Controller admits and releases connections against a topology's
+// arbitration tables.
+type Controller struct {
+	topo   *topology.Topology
+	routes *routing.Routes
+	maping sl.Mapping
+	ports  *Ports
+
+	// Budget caps the reservable weight per port, keeping the paper's
+	// 20 % of bandwidth free for best-effort traffic.
+	Budget int
+
+	// WireFactor inflates requested payload bandwidth to wire
+	// bandwidth (payload+header)/payload so that reservations cover
+	// packet header overhead.  1.0 reserves payload rate only.
+	WireFactor float64
+
+	// PacketWire is the wire size (payload + headers) used in deadline
+	// computation: the whole-packet rounding rule lets every table
+	// entry overdraw its allowance by one packet.
+	PacketWire int
+
+	// Distances optionally overrides the placement distance per SL.
+	// When service levels share a virtual lane (collapsed mappings),
+	// the group must adopt its most restrictive distance; nil keeps
+	// each SL's own.  The connection's deadline is still derived from
+	// the distance its service level asked for — a stricter placement
+	// only over-delivers.
+	Distances map[uint8]int
+
+	nextID int
+	live   map[int]*Conn
+}
+
+// NewController returns a controller over the given network state.
+func NewController(topo *topology.Topology, routes *routing.Routes, mapping sl.Mapping, ports *Ports) *Controller {
+	return &Controller{
+		topo:       topo,
+		routes:     routes,
+		maping:     mapping,
+		ports:      ports,
+		Budget:     sl.MaxReservableWeight,
+		WireFactor: 1.0,
+		PacketWire: 4096 + sl.HeaderBytes, // conservative: largest IBA MTU
+		live:       make(map[int]*Conn),
+	}
+}
+
+// Ports exposes the port tables (the fabric simulator wires its
+// arbiters to them).
+func (c *Controller) Ports() *Ports { return c.ports }
+
+// Live returns the number of admitted connections.
+func (c *Controller) Live() int { return len(c.live) }
+
+// pathTables returns the arbitration points of a route in order: the
+// source host interface, then each switch's output port along the
+// path (the last one being the destination host port).
+func (c *Controller) pathTables(src, dst int) ([]*core.PortTable, error) {
+	switches, err := c.routes.PathSwitches(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	tables := []*core.PortTable{c.ports.Host[src]}
+	for _, sw := range switches {
+		port := c.routes.NextPort(sw, dst)
+		tables = append(tables, c.ports.Switch[sw][port])
+	}
+	return tables, nil
+}
+
+// Admit studies a request at every arbitration point on its path and
+// either reserves it everywhere or leaves all tables untouched.
+func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
+	if err := req.Validate(c.topo.NumHosts()); err != nil {
+		return nil, err
+	}
+	weight := sl.WeightForBandwidth(req.Mbps * c.WireFactor)
+	vl := c.maping.VLFor(req.Level.SL)
+	distance := req.Level.Distance
+	if d, ok := c.Distances[req.Level.SL]; ok {
+		distance = d
+	}
+	tables, err := c.pathTables(req.Src, req.Dst)
+	if err != nil {
+		return nil, err
+	}
+
+	conn := &Conn{
+		ID:     c.nextID,
+		Req:    req,
+		Weight: weight,
+		Hops:   len(tables),
+	}
+	conn.Deadline = int64(conn.Hops) * sl.HopDeadlineByteTimes(req.Level.Distance, c.PacketWire)
+
+	for i, tb := range tables {
+		if tb.ReservedWeight()+weight > c.Budget {
+			c.rollback(conn)
+			return nil, fmt.Errorf("admission: hop %d/%d over budget (%d + %d > %d)",
+				i+1, len(tables), tb.ReservedWeight(), weight, c.Budget)
+		}
+		res, err := tb.Reserve(vl, distance, weight)
+		if err != nil {
+			c.rollback(conn)
+			return nil, fmt.Errorf("admission: hop %d/%d: %w", i+1, len(tables), err)
+		}
+		conn.hops = append(conn.hops, hop{table: tb, res: res})
+	}
+	c.nextID++
+	c.live[conn.ID] = conn
+	return conn, nil
+}
+
+// rollback releases the hops reserved so far for a failed admission.
+func (c *Controller) rollback(conn *Conn) {
+	for _, h := range conn.hops {
+		// Release cannot fail for reservations we just made.
+		if err := h.table.Release(h.res); err != nil {
+			panic(fmt.Sprintf("admission: rollback failed: %v", err))
+		}
+	}
+	conn.hops = nil
+}
+
+// Release tears down an admitted connection, deducting its weight at
+// every hop; entries whose accumulated weight reaches zero are freed
+// and the tables defragmented.
+func (c *Controller) Release(conn *Conn) error {
+	if _, ok := c.live[conn.ID]; !ok {
+		return fmt.Errorf("admission: connection %d not live", conn.ID)
+	}
+	for _, h := range conn.hops {
+		if err := h.table.Release(h.res); err != nil {
+			return fmt.Errorf("admission: releasing connection %d: %w", conn.ID, err)
+		}
+	}
+	delete(c.live, conn.ID)
+	return nil
+}
+
+// FillResult summarizes a Fill run.
+type FillResult struct {
+	Admitted []*Conn
+	Attempts int
+	Rejected int
+}
+
+// Fill draws requests from the source and admits them until
+// maxConsecutiveRejects requests in a row fail (the paper establishes
+// connections "until no more can be established").  It returns the
+// admitted connections in admission order.
+func (c *Controller) Fill(src *traffic.Source, maxConsecutiveRejects int) FillResult {
+	var res FillResult
+	consecutive := 0
+	for consecutive < maxConsecutiveRejects {
+		req := src.Next()
+		res.Attempts++
+		conn, err := c.Admit(req)
+		if err != nil {
+			res.Rejected++
+			consecutive++
+			continue
+		}
+		consecutive = 0
+		res.Admitted = append(res.Admitted, conn)
+	}
+	return res
+}
+
+// MeanHostReservation returns the average reserved bandwidth (Mbps)
+// over host interfaces, one of the Table 2 rows.
+func (c *Controller) MeanHostReservation() float64 {
+	if len(c.ports.Host) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range c.ports.Host {
+		sum += sl.BandwidthForWeight(p.ReservedWeight())
+	}
+	return sum / float64(len(c.ports.Host))
+}
+
+// MeanSwitchPortReservation returns the average reserved bandwidth
+// (Mbps) over inter-switch ports that are actually wired.
+func (c *Controller) MeanSwitchPortReservation() float64 {
+	sum, n := 0.0, 0
+	for s := range c.ports.Switch {
+		for q := topology.HostsPerSwitch; q < topology.SwitchPorts; q++ {
+			if c.topo.Peer(s, q).Switch < 0 {
+				continue
+			}
+			sum += sl.BandwidthForWeight(c.ports.Switch[s][q].ReservedWeight())
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CheckInvariants verifies every port table's allocator invariants.
+func (c *Controller) CheckInvariants() error {
+	for h, p := range c.ports.Host {
+		if err := p.Allocator().CheckInvariants(); err != nil {
+			return fmt.Errorf("host %d: %w", h, err)
+		}
+	}
+	for s := range c.ports.Switch {
+		for q, p := range c.ports.Switch[s] {
+			if err := p.Allocator().CheckInvariants(); err != nil {
+				return fmt.Errorf("switch %d port %d: %w", s, q, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package arbtable
+
+// Ready describes, for each data VL, the size in bytes of the packet at
+// the head of that VL's queue, or zero when the VL has nothing eligible
+// to send (no packet, or no downstream credit).  The caller is
+// responsible for credit and crossbar eligibility; the arbiter only
+// implements the table scheduling rules.
+type Ready [NumDataVLs]int
+
+// Any reports whether at least one VL has an eligible packet.
+func (r *Ready) Any() bool {
+	for _, s := range r {
+		if s > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// wrrState is the weighted round-robin position within one table: the
+// current entry, the byte allowance it has left, and whether the
+// position is live (false until the first packet is scheduled).
+type wrrState struct {
+	idx      int
+	residual int
+	active   bool
+}
+
+// choice is a scheduling decision peeked from one table, to be either
+// committed or discarded.
+type choice struct {
+	entry int  // entry index that serves
+	vl    int  // its VL
+	fresh bool // true when the entry is newly visited (allowance resets)
+}
+
+// Arbiter is the weighted round-robin scheduling engine of one output
+// port.  It walks the high- and low-priority tables, tracking the byte
+// allowance of the current entry in each and the number of
+// high-priority bytes sent since the last low-priority opportunity.
+//
+// The zero Arbiter is not usable; construct with NewArbiter.  An
+// Arbiter is not safe for concurrent use; in the simulator each output
+// port owns one and all events run on a single goroutine.
+type Arbiter struct {
+	table *Table
+
+	hi wrrState
+	lo wrrState
+
+	hiSinceLow int // high-priority bytes sent since a low-priority send
+}
+
+// NewArbiter returns an arbiter over t.  The table may be mutated
+// between Pick calls (weights are re-read on every entry visit), which
+// is how dynamic connection establishment updates schedules.
+func NewArbiter(t *Table) *Arbiter {
+	return &Arbiter{table: t}
+}
+
+// Pick selects the next VL to transmit given the per-VL eligible packet
+// sizes, consumes the corresponding weight, and returns the chosen VL
+// together with the table it was scheduled from (high = true for the
+// high-priority table).  ok is false when nothing can be scheduled.
+//
+// Scheduling rules (IBA 1.0 section 7.6.9, as summarized in the paper):
+//
+//  1. High-priority entries are served in weighted round-robin order as
+//     long as fewer than Limit*LimitUnit bytes have been sent since the
+//     last low-priority packet, or no low-priority packet is pending.
+//  2. When the high-priority allowance is exhausted and a low-priority
+//     packet is pending, one low-priority packet is served and the
+//     allowance resets.
+//  3. If no high-priority packet is ready, low-priority packets may be
+//     sent regardless of the allowance.
+//  4. Weight is always rounded up to a whole packet: an entry with any
+//     residual allowance may send one packet even if the packet is
+//     larger than the residual.
+func (a *Arbiter) Pick(ready *Ready) (vl int, high bool, ok bool) {
+	hiCh, hiOK := peek(a.table.High[:], &a.hi, ready)
+	loCh, loOK := peek(a.table.Low, &a.lo, ready)
+
+	switch {
+	case hiOK && (!loOK || !a.limitExceeded()):
+		size := ready[hiCh.vl]
+		commit(a.table.High[:], &a.hi, hiCh, size)
+		a.hiSinceLow += size
+		return hiCh.vl, true, true
+	case loOK:
+		size := ready[loCh.vl]
+		commit(a.table.Low, &a.lo, loCh, size)
+		a.hiSinceLow = 0
+		return loCh.vl, false, true
+	default:
+		return -1, false, false
+	}
+}
+
+// limitExceeded reports whether the high-priority table has used up its
+// LimitOfHighPriority allowance.
+func (a *Arbiter) limitExceeded() bool {
+	if a.table.Limit == UnlimitedHigh {
+		return false
+	}
+	// Limit 0 still admits a single high-priority packet between
+	// low-priority opportunities (IBA 1.0: a value of 0 indicates that
+	// only one packet from the high-priority table may be sent before
+	// an opportunity is given to the low-priority table).
+	return a.hiSinceLow > 0 && a.hiSinceLow >= int(a.table.Limit)*LimitUnit
+}
+
+// peek finds the entry the weighted round-robin would serve next
+// without consuming anything.  The current entry keeps the token while
+// it has residual allowance and an eligible packet; otherwise the scan
+// advances cyclically to the next entry whose VL is eligible.  Skipped
+// entries forfeit their allowance for this cycle, exactly as a hardware
+// arbiter would move past VLs with nothing to send.
+func peek(entries []Entry, st *wrrState, ready *Ready) (choice, bool) {
+	if len(entries) == 0 {
+		return choice{}, false
+	}
+	if st.idx >= len(entries) {
+		// The table shrank since the last pick (dynamic low tables).
+		st.idx, st.active = 0, false
+	}
+	if st.active && st.residual > 0 {
+		e := entries[st.idx]
+		if !e.IsFree() && ready[e.VL] > 0 {
+			return choice{entry: st.idx, vl: int(e.VL), fresh: false}, true
+		}
+	}
+	// Advance to the next entry with an eligible VL.  Before the first
+	// pick (inactive state) the scan starts at the current slot itself
+	// so the table is honored from its beginning.
+	start := st.idx
+	if st.active {
+		start = st.idx + 1
+	}
+	for step := 0; step < len(entries); step++ {
+		i := (start + step) % len(entries)
+		e := entries[i]
+		if e.IsFree() || ready[e.VL] == 0 {
+			continue
+		}
+		return choice{entry: i, vl: int(e.VL), fresh: true}, true
+	}
+	return choice{}, false
+}
+
+// commit applies a choice returned by peek: the serving entry becomes
+// current and its allowance is decremented by the packet size.  A fresh
+// visit first grants the entry its full weight allowance.
+func commit(entries []Entry, st *wrrState, ch choice, size int) {
+	if ch.fresh {
+		st.idx = ch.entry
+		st.active = true
+		st.residual = int(entries[ch.entry].Weight) * WeightUnit
+	}
+	st.residual -= size
+}
+
+// HighBytesSinceLow exposes the allowance counter for tests and
+// instrumentation.
+func (a *Arbiter) HighBytesSinceLow() int { return a.hiSinceLow }

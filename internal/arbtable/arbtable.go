@@ -1,0 +1,219 @@
+// Package arbtable models the InfiniBand VLArbitrationTable and the
+// weighted round-robin arbiter that schedules data virtual lanes on an
+// output port (IBA spec 1.0, section 7.6.9; summarized in section 2.1
+// of Alfaro et al., ICPP 2003).
+//
+// A port arbitration table has two weighted round-robin tables, one for
+// high-priority VLs and one for low-priority VLs, and a
+// LimitOfHighPriority value bounding how many bytes the high-priority
+// table may send while a low-priority packet is waiting.  Each table
+// entry names a VL and a weight, the number of 64-byte units the VL may
+// transmit each time the entry is visited.  A weight of zero marks the
+// entry unused.
+package arbtable
+
+import (
+	"fmt"
+	"strings"
+)
+
+const (
+	// TableSize is the number of entries in the high-priority table.
+	// IBA allows up to 64 entries to be cycled through; the fill-in
+	// algorithm always works with the full 64-slot table.
+	TableSize = 64
+
+	// NumVLs is the number of virtual lanes a port can implement.
+	NumVLs = 16
+
+	// MgmtVL is the subnet-management virtual lane.  It never appears
+	// in arbitration tables: it has absolute priority over data VLs.
+	MgmtVL = 15
+
+	// NumDataVLs is the number of virtual lanes usable for data.
+	NumDataVLs = NumVLs - 1
+
+	// WeightUnit is the number of bytes one unit of entry weight
+	// allows a VL to transmit.
+	WeightUnit = 64
+
+	// MaxWeight is the largest weight an entry can hold.
+	MaxWeight = 255
+
+	// LimitUnit is the number of bytes one unit of LimitOfHighPriority
+	// lets the high-priority table send before a pending low-priority
+	// packet must be served.
+	LimitUnit = 4096
+
+	// UnlimitedHigh is the LimitOfHighPriority value meaning the
+	// high-priority table is never preempted by the low-priority one.
+	UnlimitedHigh = 255
+
+	// MaxTableWeight is the aggregate weight capacity of the
+	// high-priority table: TableSize entries of MaxWeight each.  A
+	// connection holding weight w out of MaxTableWeight is guaranteed
+	// the fraction w/MaxTableWeight of the link bandwidth.
+	MaxTableWeight = TableSize * MaxWeight
+)
+
+// Entry is one slot of an arbitration table: a virtual lane and the
+// number of 64-byte units it may transmit per visit.  Weight zero marks
+// the slot unused.
+type Entry struct {
+	VL     uint8
+	Weight uint8
+}
+
+// IsFree reports whether the slot is unused.
+func (e Entry) IsFree() bool { return e.Weight == 0 }
+
+// Table is a port's VLArbitrationTable.
+type Table struct {
+	// High is the high-priority table.  The fill-in algorithm of the
+	// paper operates on these 64 slots; positions matter because the
+	// distance between consecutive occupied slots bounds latency.
+	High [TableSize]Entry
+
+	// Low is the low-priority table, used for best-effort and
+	// challenged traffic.  Slot positions carry no latency meaning, so
+	// it is a plain list.
+	Low []Entry
+
+	// Limit is the LimitOfHighPriority value: the high-priority table
+	// may send Limit*LimitUnit bytes while a low-priority packet
+	// waits.  UnlimitedHigh disables preemption.
+	Limit uint8
+}
+
+// New returns an empty table with the given LimitOfHighPriority.
+func New(limit uint8) *Table {
+	return &Table{Limit: limit}
+}
+
+// Validate checks structural well-formedness: no entry may name the
+// management VL or a VL outside the data range.
+func (t *Table) Validate() error {
+	check := func(kind string, i int, e Entry) error {
+		if e.IsFree() {
+			return nil
+		}
+		if e.VL >= NumDataVLs {
+			return fmt.Errorf("arbtable: %s[%d] names VL %d; data VLs are 0..%d", kind, i, e.VL, NumDataVLs-1)
+		}
+		return nil
+	}
+	for i, e := range t.High {
+		if err := check("high", i, e); err != nil {
+			return err
+		}
+	}
+	for i, e := range t.Low {
+		if err := check("low", i, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HighWeight returns the total weight currently allocated in the
+// high-priority table.
+func (t *Table) HighWeight() int {
+	w := 0
+	for _, e := range t.High {
+		w += int(e.Weight)
+	}
+	return w
+}
+
+// FreeHighSlots returns the number of unused high-priority slots.
+func (t *Table) FreeHighSlots() int {
+	n := 0
+	for _, e := range t.High {
+		if e.IsFree() {
+			n++
+		}
+	}
+	return n
+}
+
+// HighSlotsForVL returns the high-table slot indices occupied by vl, in
+// ascending position order.
+func (t *Table) HighSlotsForVL(vl uint8) []int {
+	var out []int
+	for i, e := range t.High {
+		if !e.IsFree() && e.VL == vl {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxGap returns, for the given VL, the maximum cyclic distance between
+// consecutive occupied high-table slots, or 0 if the VL occupies no
+// slot.  This is the quantity the paper's latency guarantee bounds: a
+// connection requesting distance d must see MaxGap <= d.
+func (t *Table) MaxGap(vl uint8) int {
+	slots := t.HighSlotsForVL(vl)
+	if len(slots) == 0 {
+		return 0
+	}
+	if len(slots) == 1 {
+		return TableSize
+	}
+	maxGap := 0
+	for i := range slots {
+		next := slots[(i+1)%len(slots)]
+		gap := next - slots[i]
+		if gap <= 0 {
+			gap += TableSize
+		}
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return maxGap
+}
+
+// ServiceShare returns the fraction of high-priority service a VL is
+// guaranteed when every lane is backlogged: its weight divided by the
+// table's total weight.  Zero when the table is empty or the VL absent.
+func (t *Table) ServiceShare(vl uint8) float64 {
+	total := t.HighWeight()
+	if total == 0 {
+		return 0
+	}
+	own := 0
+	for _, e := range t.High {
+		if !e.IsFree() && e.VL == vl {
+			own += int(e.Weight)
+		}
+	}
+	return float64(own) / float64(total)
+}
+
+// String renders the table compactly: occupied high slots as
+// "pos:VLv*w" plus the low table and limit.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("high[")
+	first := true
+	for i, e := range t.High {
+		if e.IsFree() {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:VL%d*%d", i, e.VL, e.Weight)
+	}
+	b.WriteString("] low[")
+	for i, e := range t.Low {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "VL%d*%d", e.VL, e.Weight)
+	}
+	fmt.Fprintf(&b, "] limit=%d", t.Limit)
+	return b.String()
+}

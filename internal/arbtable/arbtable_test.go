@@ -1,0 +1,136 @@
+package arbtable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEntryIsFree(t *testing.T) {
+	if !(Entry{}).IsFree() {
+		t.Error("zero entry should be free")
+	}
+	if (Entry{VL: 3, Weight: 1}).IsFree() {
+		t.Error("weighted entry should not be free")
+	}
+	// A zero-weight entry is unused even if it names a VL.
+	if !(Entry{VL: 3, Weight: 0}).IsFree() {
+		t.Error("zero-weight entry should be free")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tb := New(UnlimitedHigh)
+	tb.High[0] = Entry{VL: 0, Weight: 10}
+	tb.High[32] = Entry{VL: 14, Weight: 255}
+	tb.Low = []Entry{{VL: 9, Weight: 16}}
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+
+	bad := New(UnlimitedHigh)
+	bad.High[0] = Entry{VL: MgmtVL, Weight: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("management VL in high table not rejected")
+	}
+
+	bad2 := New(UnlimitedHigh)
+	bad2.Low = []Entry{{VL: MgmtVL, Weight: 1}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("management VL in low table not rejected")
+	}
+}
+
+func TestHighWeightAndFreeSlots(t *testing.T) {
+	tb := New(0)
+	if got := tb.HighWeight(); got != 0 {
+		t.Errorf("empty table weight = %d, want 0", got)
+	}
+	if got := tb.FreeHighSlots(); got != TableSize {
+		t.Errorf("empty table free slots = %d, want %d", got, TableSize)
+	}
+	tb.High[1] = Entry{VL: 2, Weight: 100}
+	tb.High[63] = Entry{VL: 2, Weight: 55}
+	if got := tb.HighWeight(); got != 155 {
+		t.Errorf("weight = %d, want 155", got)
+	}
+	if got := tb.FreeHighSlots(); got != TableSize-2 {
+		t.Errorf("free slots = %d, want %d", got, TableSize-2)
+	}
+}
+
+func TestHighSlotsForVL(t *testing.T) {
+	tb := New(0)
+	tb.High[5] = Entry{VL: 3, Weight: 1}
+	tb.High[37] = Entry{VL: 3, Weight: 1}
+	tb.High[21] = Entry{VL: 3, Weight: 1}
+	tb.High[10] = Entry{VL: 4, Weight: 1}
+	got := tb.HighSlotsForVL(3)
+	want := []int{5, 21, 37}
+	if len(got) != len(want) {
+		t.Fatalf("slots = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", got, want)
+		}
+	}
+	if s := tb.HighSlotsForVL(9); s != nil {
+		t.Errorf("unoccupied VL slots = %v, want nil", s)
+	}
+}
+
+func TestMaxGap(t *testing.T) {
+	tb := New(0)
+	if g := tb.MaxGap(0); g != 0 {
+		t.Errorf("gap of absent VL = %d, want 0", g)
+	}
+	tb.High[7] = Entry{VL: 0, Weight: 1}
+	if g := tb.MaxGap(0); g != TableSize {
+		t.Errorf("single-slot gap = %d, want %d", g, TableSize)
+	}
+	// Evenly spaced at distance 16: slots 2, 18, 34, 50.
+	tb2 := New(0)
+	for _, s := range []int{2, 18, 34, 50} {
+		tb2.High[s] = Entry{VL: 1, Weight: 5}
+	}
+	if g := tb2.MaxGap(1); g != 16 {
+		t.Errorf("evenly spaced gap = %d, want 16", g)
+	}
+	// Uneven spacing: slots 0 and 8 leave a cyclic gap of 56.
+	tb3 := New(0)
+	tb3.High[0] = Entry{VL: 2, Weight: 5}
+	tb3.High[8] = Entry{VL: 2, Weight: 5}
+	if g := tb3.MaxGap(2); g != 56 {
+		t.Errorf("uneven gap = %d, want 56", g)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tb := New(3)
+	tb.High[0] = Entry{VL: 1, Weight: 9}
+	tb.Low = []Entry{{VL: 10, Weight: 16}}
+	s := tb.String()
+	for _, want := range []string{"0:VL1*9", "VL10*16", "limit=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestServiceShare(t *testing.T) {
+	tb := New(UnlimitedHigh)
+	if s := tb.ServiceShare(0); s != 0 {
+		t.Errorf("empty table share = %g", s)
+	}
+	tb.High[0] = Entry{VL: 0, Weight: 30}
+	tb.High[1] = Entry{VL: 1, Weight: 10}
+	if s := tb.ServiceShare(0); s != 0.75 {
+		t.Errorf("VL0 share = %g, want 0.75", s)
+	}
+	if s := tb.ServiceShare(1); s != 0.25 {
+		t.Errorf("VL1 share = %g, want 0.25", s)
+	}
+	if s := tb.ServiceShare(5); s != 0 {
+		t.Errorf("absent VL share = %g, want 0", s)
+	}
+}

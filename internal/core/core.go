@@ -1,0 +1,528 @@
+// Package core implements the primary contribution of Alfaro, Sánchez
+// and Duato (ICPP 2003): the algorithm that fills in the high-priority
+// InfiniBand virtual-lane arbitration table so that connections with
+// bandwidth and latency requirements can be allocated optimally.
+//
+// # Model
+//
+// The high-priority table has 64 slots t[0..63].  A connection asking
+// for a maximum distance d between two consecutive entries and a mean
+// bandwidth that converts to a weight w needs
+//
+//	n = max(64/d, ceil(w/255))
+//
+// slots, rounded up to the next power of two.  It is then placed on a
+// candidate set E(i,j) = { t[j + k·2^i] : k = 0 .. 64/2^i - 1 } — the
+// slots at equal stride 2^i starting at offset j — where 64/2^i = n.
+// Only distances 2,4,8,16,32,64 are supported (the divisors of 64
+// larger than 1), so a request occupies 32, 16, 8, 4, 2 or 1 slots.
+//
+// # Fill-in algorithm
+//
+// For a request of stride 2^i the allocator inspects the candidate
+// sets E(i, rev_i(0)), E(i, rev_i(1)), ..., E(i, rev_i(2^i - 1)) —
+// offsets in bit-reversal order — and takes the first fully free one.
+// Scanning in this order fills even slots before odd slots at every
+// scale, which keeps the free slots positioned to satisfy the most
+// restrictive possible future request.  Together with defragmentation
+// on release this yields the paper's theorem:
+//
+//	a request of n slots succeeds if and only if n slots are free.
+//
+// # Sequence sharing
+//
+// Connections of the same service level (hence same VL and distance)
+// share a sequence: their weights accumulate on its slots until the
+// sequence's capacity (n·255) is reached, and only then is a second
+// sequence allocated.  Reserve/Release implement this layer on top of
+// the raw Allocate/Free primitives.
+//
+// # Defragmentation
+//
+// When a sequence's accumulated weight drops to zero its slots are
+// freed.  Freeing can leave equal-sized free sets that are not aligned
+// ("buddies" in different subtrees), which would break the theorem.
+// The defragmenter relocates live sequences to the lowest free
+// bit-reversal ranks, largest sequences first, which provably restores
+// the invariant (the companion technical report with the original
+// incremental procedure is unavailable; this re-derivation achieves
+// the same stated property and is verified by property tests).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/arbtable"
+	"repro/internal/bitrev"
+)
+
+// TableSize is the number of slots in the high-priority table.
+const TableSize = arbtable.TableSize
+
+// MaxSeqSlots is the largest number of slots a single sequence may
+// occupy (a distance-2 request).  The paper does not use distance 1.
+const MaxSeqSlots = TableSize / 2
+
+// MaxSeqWeight is the largest weight one sequence can carry.
+const MaxSeqWeight = MaxSeqSlots * arbtable.MaxWeight
+
+// Distances lists the supported maximum distances between consecutive
+// slots of a sequence, in increasing (more to less restrictive) order.
+var Distances = []int{2, 4, 8, 16, 32, 64}
+
+// Errors returned by the allocator.
+var (
+	ErrBadDistance = errors.New("core: distance must be one of 2, 4, 8, 16, 32, 64")
+	ErrBadWeight   = errors.New("core: weight must be in [1, 8160]")
+	ErrNoSpace     = errors.New("core: not enough free slots for the request")
+	ErrUnknownSeq  = errors.New("core: unknown sequence")
+)
+
+// SeqID identifies an allocated sequence.  IDs are never reused within
+// one Allocator.
+type SeqID int64
+
+// Sequence is a set of equally spaced high-priority table slots
+// assigned to one virtual lane, shared by the connections of one
+// service level.
+type Sequence struct {
+	ID     SeqID
+	VL     uint8
+	Stride int // distance between consecutive slots (power of two)
+	Start  int // first slot offset, in [0, Stride)
+	Count  int // number of slots: TableSize / Stride
+	Weight int // accumulated weight of the sharing connections
+	Conns  int // number of connections sharing the sequence
+}
+
+// TableWeight is the weight actually written to the table slots.  A
+// latency-bound sequence may accumulate less weight than it has slots,
+// but every slot must carry weight at least 1 or the arbiter would
+// skip it and the distance guarantee would be lost; so each slot gets
+// at least one unit and the table weight is max(Weight, Count).
+func (s *Sequence) TableWeight() int {
+	if s.Weight < s.Count {
+		return s.Count
+	}
+	return s.Weight
+}
+
+// Slots returns the table slot indices of the sequence in ascending
+// order.
+func (s *Sequence) Slots() []int {
+	out := make([]int, s.Count)
+	for k := 0; k < s.Count; k++ {
+		out[k] = s.Start + k*s.Stride
+	}
+	return out
+}
+
+// Capacity returns the total weight the sequence can hold.
+func (s *Sequence) Capacity() int { return s.Count * arbtable.MaxWeight }
+
+// Spare returns the weight still available on the sequence.
+func (s *Sequence) Spare() int { return s.Capacity() - s.Weight }
+
+// String implements fmt.Stringer.
+func (s *Sequence) String() string {
+	return fmt.Sprintf("seq%d VL%d stride=%d start=%d count=%d weight=%d conns=%d",
+		s.ID, s.VL, s.Stride, s.Start, s.Count, s.Weight, s.Conns)
+}
+
+// Shape computes the placement of a request: the number of slots it
+// needs and the stride at which they will be placed.  The stride never
+// exceeds the requested distance (a weight-bound request is placed
+// more densely, which also satisfies its latency requirement).
+func Shape(distance, weight int) (stride, count int, err error) {
+	if !validDistance(distance) {
+		return 0, 0, fmt.Errorf("%w (got %d)", ErrBadDistance, distance)
+	}
+	if weight < 1 || weight > MaxSeqWeight {
+		return 0, 0, fmt.Errorf("%w (got %d)", ErrBadWeight, weight)
+	}
+	count = TableSize / distance
+	forWeight := (weight + arbtable.MaxWeight - 1) / arbtable.MaxWeight
+	if forWeight > count {
+		count = nextPow2(forWeight)
+	}
+	return TableSize / count, count, nil
+}
+
+func validDistance(d int) bool {
+	switch d {
+	case 2, 4, 8, 16, 32, 64:
+		return true
+	}
+	return false
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// Allocator manages the high-priority table of one output port.  It is
+// not safe for concurrent use; in the simulator each port is owned by
+// the single simulation goroutine.
+type Allocator struct {
+	table    *arbtable.Table
+	policy   Policy
+	occupied [TableSize]SeqID // 0 = free
+	seqs     map[SeqID]*Sequence
+	nextID   SeqID
+
+	// moves counts sequences relocated by defragmentation over the
+	// allocator's lifetime — the table-update cost the subnet manager
+	// would pay for the paper's release discipline.
+	moves int
+}
+
+// NewAllocator returns an allocator managing the high-priority table
+// of t with the paper's bit-reversal policy.  The table must not be
+// mutated behind the allocator's back.
+func NewAllocator(t *arbtable.Table) *Allocator {
+	return NewAllocatorWithPolicy(t, BitReversal)
+}
+
+// NewAllocatorWithPolicy returns an allocator using an alternative
+// placement policy; used by the baseline comparisons.
+func NewAllocatorWithPolicy(t *arbtable.Table, p Policy) *Allocator {
+	return &Allocator{table: t, policy: p, seqs: make(map[SeqID]*Sequence), nextID: 1}
+}
+
+// Policy returns the allocator's placement policy.
+func (a *Allocator) Policy() Policy { return a.policy }
+
+// Table returns the managed arbitration table.
+func (a *Allocator) Table() *arbtable.Table { return a.table }
+
+// FreeSlots returns the number of unoccupied high-priority slots.
+func (a *Allocator) FreeSlots() int {
+	n := 0
+	for _, id := range a.occupied {
+		if id == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalWeight returns the aggregate weight of all live sequences.
+func (a *Allocator) TotalWeight() int {
+	w := 0
+	for _, s := range a.seqs {
+		w += s.Weight
+	}
+	return w
+}
+
+// Sequences returns the live sequences sorted by ID.
+func (a *Allocator) Sequences() []*Sequence {
+	out := make([]*Sequence, 0, len(a.seqs))
+	for _, s := range a.seqs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the sequence with the given ID, or nil.
+func (a *Allocator) Lookup(id SeqID) *Sequence { return a.seqs[id] }
+
+// setFree reports whether the candidate set with the given stride and
+// start offset is entirely free.
+func (a *Allocator) setFree(stride, start int) bool {
+	for k := start; k < TableSize; k += stride {
+		if a.occupied[k] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocate places a new sequence for a connection of virtual lane vl
+// requesting a maximum distance and a weight.  Candidate offsets are
+// inspected in bit-reversal order and the first fully free set is
+// taken.  It returns ErrNoSpace when no candidate set is free — which,
+// as long as releases run the defragmenter, happens exactly when fewer
+// slots are free than the request needs.
+func (a *Allocator) Allocate(vl uint8, distance, weight int) (*Sequence, error) {
+	if vl >= arbtable.NumDataVLs {
+		return nil, fmt.Errorf("core: VL %d is not a data VL", vl)
+	}
+	stride, count, err := Shape(distance, weight)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range a.policy.Order(stride) {
+		if !a.setFree(stride, j) {
+			continue
+		}
+		s := &Sequence{
+			ID: a.nextID, VL: vl,
+			Stride: stride, Start: j, Count: count,
+			Weight: weight, Conns: 1,
+		}
+		a.nextID++
+		a.seqs[s.ID] = s
+		a.place(s)
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w (need %d slots at stride %d, %d free)",
+		ErrNoSpace, count, stride, a.FreeSlots())
+}
+
+// place writes the sequence's slots into the occupancy map and the
+// arbitration table, distributing its table weight as evenly as
+// possible (every slot gets at least one unit).
+func (a *Allocator) place(s *Sequence) {
+	w := s.TableWeight()
+	base := w / s.Count
+	extra := w % s.Count
+	for k := 0; k < s.Count; k++ {
+		pos := s.Start + k*s.Stride
+		a.occupied[pos] = s.ID
+		ew := base
+		if k < extra {
+			ew++
+		}
+		a.table.High[pos] = arbtable.Entry{VL: s.VL, Weight: uint8(ew)}
+	}
+}
+
+// unplace clears the sequence's slots from the occupancy map and the
+// table.
+func (a *Allocator) unplace(s *Sequence) {
+	for k := 0; k < s.Count; k++ {
+		pos := s.Start + k*s.Stride
+		a.occupied[pos] = 0
+		a.table.High[pos] = arbtable.Entry{}
+	}
+}
+
+// AddWeight accumulates the weight of an additional connection on an
+// existing sequence.  It fails without side effects when the sequence
+// lacks capacity.
+func (a *Allocator) AddWeight(id SeqID, weight int) error {
+	s := a.seqs[id]
+	if s == nil {
+		return ErrUnknownSeq
+	}
+	if weight < 1 {
+		return ErrBadWeight
+	}
+	if weight > s.Spare() {
+		return fmt.Errorf("core: sequence %d has spare %d, need %d", id, s.Spare(), weight)
+	}
+	s.Weight += weight
+	s.Conns++
+	a.place(s)
+	return nil
+}
+
+// RemoveWeight deducts a finished connection's weight from a sequence.
+// When the accumulated weight reaches zero the slots are freed and the
+// table defragmented.  It reports whether the sequence was freed.
+func (a *Allocator) RemoveWeight(id SeqID, weight int) (freed bool, err error) {
+	s := a.seqs[id]
+	if s == nil {
+		return false, ErrUnknownSeq
+	}
+	if weight < 1 || weight > s.Weight {
+		return false, fmt.Errorf("core: cannot remove weight %d from sequence with weight %d", weight, s.Weight)
+	}
+	s.Weight -= weight
+	if s.Conns > 0 {
+		s.Conns--
+	}
+	if s.Weight == 0 {
+		a.unplace(s)
+		delete(a.seqs, id)
+		if a.policy.Defrag {
+			a.Defragment()
+		}
+		return true, nil
+	}
+	a.place(s)
+	return false, nil
+}
+
+// Defragment relocates live sequences to the lowest free bit-reversal
+// ranks, largest sequences first.  After it runs, the free slots again
+// contain a fully free aligned candidate set of every power-of-two
+// size up to the number of free slots, so the allocation theorem
+// holds.  It returns the number of sequences that moved.
+//
+// Placing power-of-two-sized blocks in decreasing size order at the
+// first free candidate set (bit-reversal order = left-to-right in the
+// buddy tree over the strided sets) packs them without fragmentation;
+// the remaining free sets then have pairwise distinct sizes whose sum
+// is the free-slot count F, so a free set of size 2^k exists for every
+// 2^k <= F.
+func (a *Allocator) Defragment() (moves int) {
+	seqs := a.Sequences()
+	// Largest first; ties broken by ID for determinism.
+	sort.SliceStable(seqs, func(i, j int) bool { return seqs[i].Count > seqs[j].Count })
+
+	// Recompute placement from scratch on a shadow occupancy.
+	var shadow [TableSize]SeqID
+	free := func(stride, start int) bool {
+		for k := start; k < TableSize; k += stride {
+			if shadow[k] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	newStart := make(map[SeqID]int, len(seqs))
+	for _, s := range seqs {
+		bits := log2(s.Stride)
+		placed := false
+		for _, j := range bitrev.Order(bits) {
+			if !free(s.Stride, j) {
+				continue
+			}
+			for k := j; k < TableSize; k += s.Stride {
+				shadow[k] = s.ID
+			}
+			newStart[s.ID] = j
+			placed = true
+			break
+		}
+		if !placed {
+			// Cannot happen: the same sequences fit before.
+			panic("core: defragmentation failed to place a live sequence")
+		}
+	}
+
+	// Apply the new layout.
+	for _, s := range seqs {
+		if newStart[s.ID] != s.Start {
+			moves++
+		}
+	}
+	a.moves += moves
+	if moves == 0 {
+		return 0
+	}
+	a.occupied = shadow
+	for i := range a.table.High {
+		a.table.High[i] = arbtable.Entry{}
+	}
+	for _, s := range seqs {
+		s.Start = newStart[s.ID]
+		tw := s.TableWeight()
+		base := tw / s.Count
+		extra := tw % s.Count
+		for k := 0; k < s.Count; k++ {
+			pos := s.Start + k*s.Stride
+			w := base
+			if k < extra {
+				w++
+			}
+			a.table.High[pos] = arbtable.Entry{VL: s.VL, Weight: uint8(w)}
+		}
+	}
+	return moves
+}
+
+// TotalMoves returns the cumulative number of sequence relocations
+// performed by defragmentation.
+func (a *Allocator) TotalMoves() int { return a.moves }
+
+// CanAllocate reports whether a request with the given distance and
+// weight would currently succeed.
+func (a *Allocator) CanAllocate(distance, weight int) bool {
+	stride, _, err := Shape(distance, weight)
+	if err != nil {
+		return false
+	}
+	for _, j := range a.policy.Order(stride) {
+		if a.setFree(stride, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckInvariants verifies the allocator's internal consistency and
+// the paper's allocation theorem.  It is used by tests and by the
+// simulator's self-checks.
+func (a *Allocator) CheckInvariants() error {
+	// 1. Occupancy and table agree with the sequence records.
+	var seen [TableSize]bool
+	for _, s := range a.seqs {
+		if s.Start < 0 || s.Start >= s.Stride {
+			return fmt.Errorf("sequence %v: start outside [0,stride)", s)
+		}
+		if s.Count*s.Stride != TableSize {
+			return fmt.Errorf("sequence %v: count*stride != %d", s, TableSize)
+		}
+		if s.Weight < 1 || s.Weight > s.Capacity() {
+			return fmt.Errorf("sequence %v: weight out of range", s)
+		}
+		sum := 0
+		for _, pos := range s.Slots() {
+			if seen[pos] {
+				return fmt.Errorf("slot %d claimed by two sequences", pos)
+			}
+			seen[pos] = true
+			if a.occupied[pos] != s.ID {
+				return fmt.Errorf("slot %d: occupied=%d, want %d", pos, a.occupied[pos], s.ID)
+			}
+			e := a.table.High[pos]
+			if e.VL != s.VL {
+				return fmt.Errorf("slot %d: table VL %d, sequence VL %d", pos, e.VL, s.VL)
+			}
+			if e.Weight == 0 {
+				return fmt.Errorf("slot %d: zero weight on occupied slot", pos)
+			}
+			sum += int(e.Weight)
+		}
+		if sum != s.TableWeight() {
+			return fmt.Errorf("sequence %v: slot weights sum to %d, want %d", s, sum, s.TableWeight())
+		}
+	}
+	for pos, id := range a.occupied {
+		if id != 0 && !seen[pos] {
+			return fmt.Errorf("slot %d: occupied by unknown sequence %d", pos, id)
+		}
+		if id == 0 && !a.table.High[pos].IsFree() {
+			return fmt.Errorf("slot %d: free but table entry not empty", pos)
+		}
+	}
+	// 2. The allocation theorem: for every power-of-two size up to the
+	// free-slot count there is a fully free candidate set.  Only the
+	// paper's policy provides it.
+	if a.policy.Name != BitReversal.Name {
+		return nil
+	}
+	free := a.FreeSlots()
+	for n := 1; n <= free && n <= MaxSeqSlots; n *= 2 {
+		stride := TableSize / n
+		found := false
+		for j := 0; j < stride; j++ {
+			if a.setFree(stride, j) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("theorem violated: %d slots free but no free set of size %d", free, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package core
+
+import "repro/internal/bitrev"
+
+// Policy selects how the allocator inspects candidate sets and whether
+// it defragments on release.  The paper's algorithm is BitReversal;
+// NaturalOrder is the naive first-fit baseline used by the ablation
+// benchmarks to quantify what the bit-reversal order and the
+// defragmenter buy.
+type Policy struct {
+	// Name labels the policy in reports.
+	Name string
+	// Order returns the sequence of start offsets to inspect for a
+	// request of the given stride.
+	Order func(stride int) []int
+	// Defrag enables defragmentation when a sequence is freed.
+	Defrag bool
+}
+
+// BitReversal is the paper's policy: offsets in bit-reversal order and
+// defragmentation on release.  With it, an allocation of n slots
+// succeeds if and only if n slots are free.
+var BitReversal = Policy{
+	Name: "bit-reversal",
+	Order: func(stride int) []int {
+		return bitrev.Order(log2(stride))
+	},
+	Defrag: true,
+}
+
+// NaturalOrder is the naive baseline: offsets inspected in natural
+// order (0, 1, 2, ...) and no defragmentation.  It satisfies the same
+// distance guarantees but fragments the table, rejecting requests the
+// bit-reversal policy would accept.
+var NaturalOrder = Policy{
+	Name: "natural",
+	Order: func(stride int) []int {
+		out := make([]int, stride)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	},
+	Defrag: false,
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arbtable"
+)
+
+// Reservation records one connection's hold on a port's arbitration
+// table: the sequence it shares and the weight it contributed.  It is
+// the token needed to release the resources when the connection ends.
+type Reservation struct {
+	Seq    SeqID
+	Weight int
+}
+
+// PortTable couples an Allocator with the sequence-sharing policy of
+// the paper: connections of the same service level (same VL, same
+// distance) accumulate their weights on one sequence while it has
+// spare capacity, and only when it fills up is a new sequence
+// allocated.  This lets the number of accepted connections be bounded
+// by available bandwidth rather than by the 64 table slots.
+type PortTable struct {
+	alloc *Allocator
+}
+
+// NewPortTable returns a PortTable managing the high-priority table of t.
+func NewPortTable(t *arbtable.Table) *PortTable {
+	return &PortTable{alloc: NewAllocator(t)}
+}
+
+// Allocator exposes the underlying allocator (read-mostly: inspection,
+// invariant checks).
+func (p *PortTable) Allocator() *Allocator { return p.alloc }
+
+// Reserve admits one connection with the given VL, maximum distance
+// and weight.  It first tries to join an existing sequence of the same
+// VL whose stride honors the distance and whose spare capacity covers
+// the weight; otherwise it allocates a new sequence.  On failure the
+// table is unchanged.
+func (p *PortTable) Reserve(vl uint8, distance, weight int) (Reservation, error) {
+	if _, _, err := Shape(distance, weight); err != nil {
+		return Reservation{}, err
+	}
+	// Deterministic sharing: the live sequence with the lowest ID that
+	// fits.  Sequences of the same VL always come from the same service
+	// level, but the stride check keeps the latency guarantee explicit.
+	for _, s := range p.alloc.Sequences() {
+		if s.VL != vl || s.Stride > distance || s.Spare() < weight {
+			continue
+		}
+		if err := p.alloc.AddWeight(s.ID, weight); err != nil {
+			return Reservation{}, fmt.Errorf("core: joining sequence %d: %w", s.ID, err)
+		}
+		return Reservation{Seq: s.ID, Weight: weight}, nil
+	}
+	s, err := p.alloc.Allocate(vl, distance, weight)
+	if err != nil {
+		return Reservation{}, err
+	}
+	return Reservation{Seq: s.ID, Weight: weight}, nil
+}
+
+// Release returns a reservation's weight to the table.  When the
+// owning sequence's accumulated weight reaches zero its slots are
+// freed and the table defragmented.
+func (p *PortTable) Release(r Reservation) error {
+	_, err := p.alloc.RemoveWeight(r.Seq, r.Weight)
+	return err
+}
+
+// ReservedWeight returns the total weight currently reserved.
+func (p *PortTable) ReservedWeight() int { return p.alloc.TotalWeight() }

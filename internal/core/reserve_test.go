@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arbtable"
+)
+
+func newPort() *PortTable {
+	return NewPortTable(arbtable.New(arbtable.UnlimitedHigh))
+}
+
+func TestReserveSharesSequence(t *testing.T) {
+	p := newPort()
+	r1, err := p.Reserve(0, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Reserve(0, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seq != r2.Seq {
+		t.Errorf("same-VL connections got different sequences %d and %d", r1.Seq, r2.Seq)
+	}
+	s := p.Allocator().Lookup(r1.Seq)
+	if s.Weight != 200 || s.Conns != 2 {
+		t.Errorf("shared sequence = %v, want weight 200 conns 2", s)
+	}
+	// Only one sequence's worth of slots should be used.
+	if free := p.Allocator().FreeSlots(); free != TableSize-8 {
+		t.Errorf("free slots = %d, want %d", free, TableSize-8)
+	}
+}
+
+func TestReserveSpillsToNewSequence(t *testing.T) {
+	p := newPort()
+	// Distance 64 -> 1 slot, capacity 255.
+	r1, err := p.Reserve(5, 64, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 56 more fits (255-200=55 spare is not enough): new sequence.
+	r2, err := p.Reserve(5, 64, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seq == r2.Seq {
+		t.Error("overflow connection shared a full sequence")
+	}
+	// A third small connection joins the first sequence (lowest ID with
+	// spare 55).
+	r3, err := p.Reserve(5, 64, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Seq != r1.Seq {
+		t.Errorf("small connection went to sequence %d, want %d", r3.Seq, r1.Seq)
+	}
+}
+
+func TestReserveDoesNotShareAcrossVLs(t *testing.T) {
+	p := newPort()
+	r1, _ := p.Reserve(1, 32, 10)
+	r2, err := p.Reserve(2, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seq == r2.Seq {
+		t.Error("different VLs shared a sequence")
+	}
+}
+
+func TestReserveRejectsInvalid(t *testing.T) {
+	p := newPort()
+	if _, err := p.Reserve(0, 5, 10); err == nil {
+		t.Error("invalid distance accepted")
+	}
+	if _, err := p.Reserve(0, 8, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestReleaseFreesAndAllowsReuse(t *testing.T) {
+	p := newPort()
+	var rs []Reservation
+	// Fill the table completely with distance-2 demands on two VLs.
+	for vl := uint8(0); vl < 2; vl++ {
+		r, err := p.Reserve(vl, 2, 500)
+		if err != nil {
+			t.Fatalf("VL%d: %v", vl, err)
+		}
+		rs = append(rs, r)
+	}
+	if _, err := p.Reserve(3, 64, 1); err == nil {
+		t.Fatal("reservation in a full table succeeded")
+	}
+	if err := p.Release(rs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reserve(3, 64, 1); err != nil {
+		t.Errorf("reservation after release failed: %v", err)
+	}
+	if err := p.Allocator().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReleaseUnknown(t *testing.T) {
+	p := newPort()
+	if err := p.Release(Reservation{Seq: 12, Weight: 5}); err == nil {
+		t.Error("release of unknown reservation succeeded")
+	}
+}
+
+func TestReservedWeightAccounting(t *testing.T) {
+	p := newPort()
+	r1, _ := p.Reserve(0, 16, 120)
+	r2, _ := p.Reserve(1, 16, 80)
+	if w := p.ReservedWeight(); w != 200 {
+		t.Errorf("reserved weight = %d, want 200", w)
+	}
+	p.Release(r1)
+	if w := p.ReservedWeight(); w != 80 {
+		t.Errorf("after release = %d, want 80", w)
+	}
+	p.Release(r2)
+	if w := p.ReservedWeight(); w != 0 {
+		t.Errorf("after both releases = %d, want 0", w)
+	}
+}
+
+// TestReserveReleaseChurnQuick: random admission/teardown churn across
+// many VLs keeps the allocator consistent and never leaks weight.
+func TestReserveReleaseChurnQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newPort()
+		type conn struct {
+			r Reservation
+		}
+		var live []conn
+		expected := 0
+		for i := 0; i < 150; i++ {
+			if len(live) == 0 || rng.Intn(100) < 60 {
+				vl := uint8(rng.Intn(10))
+				d := Distances[rng.Intn(len(Distances))]
+				w := 1 + rng.Intn(300)
+				r, err := p.Reserve(vl, d, w)
+				if err == nil {
+					live = append(live, conn{r})
+					expected += w
+				}
+			} else {
+				i := rng.Intn(len(live))
+				if err := p.Release(live[i].r); err != nil {
+					return false
+				}
+				expected -= live[i].r.Weight
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if p.ReservedWeight() != expected {
+				return false
+			}
+			if err := p.Allocator().CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (section 4), plus the ablations motivated by its
+// design discussion.  Each runner builds the simulated network,
+// establishes connections until the network is quasi-fully loaded,
+// runs a transient (warm-up) period followed by a steady-state
+// measurement window, and reports the same rows or series the paper
+// does.  DESIGN.md maps every experiment to its runner.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/admission"
+	"repro/internal/fabric"
+	"repro/internal/sl"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Packet payloads of the evaluation: the paper contrasts a small and a
+// large packet size.
+const (
+	SmallPayload = 256
+	LargePayload = 2048
+)
+
+// Params sizes an experiment run.
+type Params struct {
+	Switches              int   // network size (paper: 16)
+	Seed                  int64 // topology, workload and phase randomness
+	MaxConsecutiveRejects int   // connection fill stop criterion
+	MinPacketsSlowest     int   // steady state: packets the slowest connection must receive
+	BEPerHostMbps         float64
+	WarmupIATs            int64 // warm-up length in units of the slowest IAT
+}
+
+// Full returns the paper-scale parameters: 16 switches and 64 hosts,
+// measuring until the smallest-bandwidth connection has received a
+// statistically useful number of packets.
+func Full() Params {
+	return Params{
+		Switches:              16,
+		Seed:                  42,
+		MaxConsecutiveRejects: 1000,
+		MinPacketsSlowest:     100,
+		BEPerHostMbps:         200,
+		WarmupIATs:            2,
+	}
+}
+
+// Quick returns a scaled-down configuration for benchmarks and smoke
+// tests: a 4-switch network and a short measurement window.  The
+// qualitative shape of every result is preserved.
+func Quick() Params {
+	return Params{
+		Switches:              4,
+		Seed:                  42,
+		MaxConsecutiveRejects: 400,
+		MinPacketsSlowest:     12,
+		BEPerHostMbps:         150,
+		WarmupIATs:            2,
+	}
+}
+
+// Tiny returns the smallest meaningful configuration, used by unit
+// tests.
+func Tiny() Params {
+	return Params{
+		Switches:              2,
+		Seed:                  42,
+		MaxConsecutiveRejects: 60,
+		MinPacketsSlowest:     6,
+		BEPerHostMbps:         100,
+		WarmupIATs:            1,
+	}
+}
+
+// Run is one fully set-up and executed simulation: the network, its
+// admitted connections and their flows.
+type Run struct {
+	P       Params
+	Payload int
+	Net     *fabric.Network
+	Conns   []*admission.Conn
+	Flows   []*fabric.Flow // QoS flows, aligned with Conns
+	BEFlows []*fabric.Flow
+	Fill    admission.FillResult
+}
+
+// Setup builds the network, loads it with connections until admission
+// control refuses more, and attaches the best-effort background.
+func Setup(p Params, payload int) (*Run, error) {
+	return SetupWith(p, payload, nil)
+}
+
+// SetupWith is Setup with a hook to adjust the fabric configuration
+// (used by the VL-collapse ablation and custom scenarios).
+func SetupWith(p Params, payload int, mutate func(*fabric.Config)) (*Run, error) {
+	cfg := fabric.DefaultConfig(p.Switches, payload, p.Seed)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	net, err := fabric.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := traffic.NewSource(sl.DefaultLevels, net.Topo.NumHosts(), p.Seed+1)
+	fill := net.Adm.Fill(src, p.MaxConsecutiveRejects)
+	if len(fill.Admitted) == 0 {
+		return nil, fmt.Errorf("experiments: no connections admitted")
+	}
+	r := &Run{P: p, Payload: payload, Net: net, Fill: fill}
+	for _, conn := range fill.Admitted {
+		r.Conns = append(r.Conns, conn)
+		r.Flows = append(r.Flows, net.AddConnection(conn))
+	}
+	for _, be := range traffic.BestEffortBackground(net.Topo.NumHosts(), p.BEPerHostMbps, p.Seed+2) {
+		r.BEFlows = append(r.BEFlows, net.AddBestEffort(be))
+	}
+	return r, nil
+}
+
+// slowestFlow returns the QoS flow with the largest interarrival time.
+func (r *Run) slowestFlow() *fabric.Flow {
+	var slowest *fabric.Flow
+	for _, f := range r.Flows {
+		if slowest == nil || f.IAT > slowest.IAT {
+			slowest = f
+		}
+	}
+	return slowest
+}
+
+// Execute runs the transient period and then the steady-state window:
+// measurement continues until the slowest connection has received
+// MinPacketsSlowest packets (with a generous time cap so a defect
+// cannot hang the harness).
+func (r *Run) Execute() {
+	slowest := r.slowestFlow()
+	r.Net.Start()
+	warmup := r.P.WarmupIATs * slowest.IAT
+	r.Net.Engine.Run(warmup)
+	r.Net.StartMeasurement()
+
+	target := int64(r.P.MinPacketsSlowest)
+	timeCap := warmup + (target+8)*slowest.IAT*2
+	engine := r.Net.Engine
+	engine.RunWhile(func() bool {
+		return slowest.Delivered.Packets < target && engine.Now() < timeCap
+	})
+}
+
+// DelayBySL merges the per-connection delay distributions of each
+// service level.
+func (r *Run) DelayBySL() map[uint8]*stats.DelayCDF {
+	out := make(map[uint8]*stats.DelayCDF)
+	for _, f := range r.Flows {
+		d, ok := out[f.SL]
+		if !ok {
+			d = stats.NewDelayCDF()
+			out[f.SL] = d
+		}
+		d.Merge(f.Delay)
+	}
+	return out
+}
+
+// JitterBySL merges the per-connection jitter histograms of each
+// service level.
+func (r *Run) JitterBySL() map[uint8]*stats.JitterHist {
+	out := make(map[uint8]*stats.JitterHist)
+	for _, f := range r.Flows {
+		j, ok := out[f.SL]
+		if !ok {
+			j = &stats.JitterHist{}
+			out[f.SL] = j
+		}
+		j.Merge(f.Jitter)
+	}
+	return out
+}
+
+// BestWorst returns the connections of a service level with the
+// highest and lowest percentage of packets delivered before the
+// threshold with the given index into stats.DelayFractions.  Flows
+// without samples are skipped.
+func (r *Run) BestWorst(slID uint8, thresholdIdx int) (best, worst *fabric.Flow) {
+	for _, f := range r.Flows {
+		if f.SL != slID || f.Delay.Total() == 0 {
+			continue
+		}
+		if best == nil || f.Delay.PercentBelow(thresholdIdx) > best.Delay.PercentBelow(thresholdIdx) {
+			best = f
+		}
+		if worst == nil || f.Delay.PercentBelow(thresholdIdx) < worst.Delay.PercentBelow(thresholdIdx) {
+			worst = f
+		}
+	}
+	return best, worst
+}
+
+// SLIDs returns the service levels present among the run's flows, in
+// ascending order.
+func (r *Run) SLIDs() []uint8 {
+	seen := make(map[uint8]bool)
+	for _, f := range r.Flows {
+		seen[f.SL] = true
+	}
+	out := make([]uint8, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Evaluation bundles the two executed runs (small and large packets)
+// all table/figure extractors derive from, so the expensive
+// simulations happen once.
+type Evaluation struct {
+	Small, Large *Run
+}
+
+// Evaluate sets up and executes the small- and large-packet runs in
+// parallel (each run is single-goroutine; independent runs fan out).
+func Evaluate(p Params) (*Evaluation, error) {
+	var (
+		wg         sync.WaitGroup
+		small      *Run
+		large      *Run
+		errS, errL error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if small, errS = Setup(p, SmallPayload); errS == nil {
+			small.Execute()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if large, errL = Setup(p, LargePayload); errL == nil {
+			large.Execute()
+		}
+	}()
+	wg.Wait()
+	if errS != nil {
+		return nil, errS
+	}
+	if errL != nil {
+		return nil, errL
+	}
+	return &Evaluation{Small: small, Large: large}, nil
+}

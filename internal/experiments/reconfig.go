@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/admission"
+	"repro/internal/arbtable"
+	"repro/internal/routing"
+	"repro/internal/sl"
+	"repro/internal/subnet"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ReconfigResult reports the control-plane study: what it costs the
+// subnet manager to bring up the paper's QoS configuration, and how
+// the fabric recovers when links fail (the fault-granularity story of
+// the paper's introduction).
+type ReconfigResult struct {
+	Switches int
+	Hosts    int
+
+	// Initial bring-up.
+	Sweep      subnet.Costs
+	Forwarding subnet.Costs
+	QoS        subnet.Costs
+
+	// Link-failure recovery, aggregated over every non-partitioning
+	// single-link failure.
+	FailuresTried  int
+	CutEdges       int
+	MeanSurvival   float64 // fraction of connections re-established
+	WorstSurvival  float64
+	MeanReconfMADs float64
+}
+
+// Reconfiguration runs the control-plane study on a network of the
+// given size, loaded with liveConns connections.
+func Reconfiguration(switches int, seed int64, liveConns int) (ReconfigResult, error) {
+	topo, err := topology.Generate(switches, seed)
+	if err != nil {
+		return ReconfigResult{}, err
+	}
+	res := ReconfigResult{Switches: switches, Hosts: topo.NumHosts()}
+
+	m := subnet.NewManager(topo)
+	if res.Sweep, err = m.Discover(); err != nil {
+		return res, err
+	}
+	if res.Forwarding, err = m.ProgramForwarding(); err != nil {
+		return res, err
+	}
+	ports := admission.NewPorts(topo, arbtable.UnlimitedHigh)
+	if res.QoS, err = m.ProgramQoS(ports, sl.IdentityMapping()); err != nil {
+		return res, err
+	}
+
+	// Load the fabric.
+	routes, err := routing.Compute(topo)
+	if err != nil {
+		return res, err
+	}
+	ctrl := admission.NewController(topo, routes, sl.IdentityMapping(), ports)
+	src := traffic.NewSource(sl.DefaultLevels, topo.NumHosts(), seed+1)
+	var live []traffic.Request
+	for attempts := 0; len(live) < liveConns && attempts < liveConns*20; attempts++ {
+		req := src.Next()
+		if _, err := ctrl.Admit(req); err == nil {
+			live = append(live, req)
+		}
+	}
+	if len(live) == 0 {
+		return res, fmt.Errorf("experiments: no connections admitted for the reconfiguration study")
+	}
+
+	res.WorstSurvival = 1
+	sumSurvival, sumMADs := 0.0, 0
+	for _, l := range topo.Links() {
+		rec, _, err := subnet.HandleLinkFailure(topo, l.A.Switch, l.A.Port, live, arbtable.UnlimitedHigh)
+		if err != nil {
+			res.CutEdges++
+			continue
+		}
+		res.FailuresTried++
+		survival := float64(rec.Reestablished) / float64(len(live))
+		sumSurvival += survival
+		if survival < res.WorstSurvival {
+			res.WorstSurvival = survival
+		}
+		sumMADs += rec.Sweep.MADs + rec.Forwarding.MADs + rec.QoS.MADs
+	}
+	if res.FailuresTried > 0 {
+		res.MeanSurvival = sumSurvival / float64(res.FailuresTried)
+		res.MeanReconfMADs = float64(sumMADs) / float64(res.FailuresTried)
+	}
+	return res, nil
+}
+
+// PrintReconfig renders the control-plane study.
+func PrintReconfig(w io.Writer, r ReconfigResult) {
+	fmt.Fprintf(w, "Control plane — subnet manager bring-up and link-failure recovery (%d switches, %d hosts)\n",
+		r.Switches, r.Hosts)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "discovery sweep\t%d MADs\t%d devices\n", r.Sweep.MADs, r.Sweep.Devices)
+	fmt.Fprintf(tw, "forwarding tables\t%d MADs\n", r.Forwarding.MADs)
+	fmt.Fprintf(tw, "QoS state (SLtoVL + arbitration)\t%d MADs\n", r.QoS.MADs)
+	fmt.Fprintf(tw, "single-link failures survived\t%d (plus %d cut edges)\n", r.FailuresTried, r.CutEdges)
+	fmt.Fprintf(tw, "connection survival mean/worst\t%.1f%% / %.1f%%\n", 100*r.MeanSurvival, 100*r.WorstSurvival)
+	fmt.Fprintf(tw, "mean reconfiguration cost\t%.0f MADs\n", r.MeanReconfMADs)
+	tw.Flush()
+}

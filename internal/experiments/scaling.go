@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/stats"
+)
+
+// ScalingRow summarizes one network size of the scaling sweep; the
+// paper evaluates 8 to 64 switches and reports "the results are
+// similar" across sizes.
+type ScalingRow struct {
+	Switches           int
+	Hosts              int
+	Connections        int
+	DeadlineMetPercent float64
+	CentralJitter      float64 // % of packets in the central interval
+	HostUtilization    float64
+	DeliveredPerNode   float64
+	Err                error
+}
+
+// Scaling runs the small-packet evaluation across the given network
+// sizes, one goroutine per size.
+func Scaling(p Params, sizes []int) []ScalingRow {
+	rows := make([]ScalingRow, len(sizes))
+	var wg sync.WaitGroup
+	for i, size := range sizes {
+		wg.Add(1)
+		go func(i, size int) {
+			defer wg.Done()
+			ps := p
+			ps.Switches = size
+			run, err := Setup(ps, SmallPayload)
+			if err != nil {
+				rows[i] = ScalingRow{Switches: size, Err: err}
+				return
+			}
+			run.Execute()
+			all := stats.NewDelayCDF()
+			jit := &stats.JitterHist{}
+			for _, f := range run.Flows {
+				all.Merge(f.Delay)
+				jit.Merge(f.Jitter)
+			}
+			rows[i] = ScalingRow{
+				Switches:           size,
+				Hosts:              run.Net.Topo.NumHosts(),
+				Connections:        len(run.Flows),
+				DeadlineMetPercent: all.PercentMeetingDeadline(),
+				CentralJitter:      jit.CentralPercent(),
+				HostUtilization:    run.Net.MeanHostUtilization(),
+				DeliveredPerNode:   run.Net.DeliveredBytesPerCyclePerNode(),
+			}
+		}(i, size)
+	}
+	wg.Wait()
+	return rows
+}
+
+// PrintScaling renders the scaling sweep.
+func PrintScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintln(w, "Scaling — behavior across network sizes (small packets)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "switches\thosts\tconns\tdeadline met (%)\tcentral jitter (%)\thost util (%)\tdelivered (B/cycle/node)")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%d\terror: %v\n", r.Switches, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.2f\t%.1f\t%.2f\t%.4f\n",
+			r.Switches, r.Hosts, r.Connections, r.DeadlineMetPercent,
+			r.CentralJitter, r.HostUtilization, r.DeliveredPerNode)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/fabric"
+	"repro/internal/stats"
+)
+
+// SwitchModelRow summarizes one switch architecture of the
+// switch-model ablation.  The companion work the paper builds on
+// ("A Strategy to Manage Time Sensitive Traffic in InfiniBand")
+// studied several switch models; the axis our simulator exposes is the
+// internal speedup of the multiplexed crossbar — speedup 1 is the
+// bare model of the paper's section 4.1, higher speedups decouple the
+// input stage from the output link.
+type SwitchModelRow struct {
+	Speedup            int
+	DeadlineMetPercent float64
+	WorstDelayRatio    float64 // max delay/deadline over all packets
+	MeanDelayRatio     float64
+	Err                error
+}
+
+// AblationSwitchModels runs the small-packet evaluation across
+// crossbar speedups, one goroutine per model.
+func AblationSwitchModels(p Params, speedups []int) []SwitchModelRow {
+	rows := make([]SwitchModelRow, len(speedups))
+	var wg sync.WaitGroup
+	for i, su := range speedups {
+		wg.Add(1)
+		go func(i, su int) {
+			defer wg.Done()
+			run, err := SetupWith(p, LargePayload, func(cfg *fabric.Config) {
+				cfg.CrossbarSpeedup = su
+			})
+			if err != nil {
+				rows[i] = SwitchModelRow{Speedup: su, Err: err}
+				return
+			}
+			run.Execute()
+			all := stats.NewDelayCDF()
+			for _, f := range run.Flows {
+				all.Merge(f.Delay)
+			}
+			rows[i] = SwitchModelRow{
+				Speedup:            su,
+				DeadlineMetPercent: all.PercentMeetingDeadline(),
+				WorstDelayRatio:    all.MaxRatio(),
+				MeanDelayRatio:     all.MeanRatio(),
+			}
+		}(i, su)
+	}
+	wg.Wait()
+	return rows
+}
+
+// PrintSwitchModels renders the switch-model ablation.
+func PrintSwitchModels(w io.Writer, rows []SwitchModelRow) {
+	fmt.Fprintln(w, "Ablation — switch models (crossbar speedup), large packets")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "speedup\tdeadline met (%)\tworst delay/D\tmean delay/D")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%d\terror: %v\n", r.Speedup, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.4f\n",
+			r.Speedup, r.DeadlineMetPercent, r.WorstDelayRatio, r.MeanDelayRatio)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/fabric"
+	"repro/internal/stats"
+)
+
+// VLCollapseRow summarizes one lane budget of the VL-collapse
+// ablation: what it costs to run the paper's scheme on switches with
+// fewer virtual lanes than service levels (section 3.2 discusses the
+// sharing and its price: shared groups adopt their most restrictive
+// distance).
+type VLCollapseRow struct {
+	DataVLs            int
+	Connections        int
+	HostReservation    float64 // Mbps
+	DeadlineMetPercent float64
+	Err                error
+}
+
+// AblationVLCollapse runs the small-packet evaluation with the
+// identity mapping (15 data VLs) and with collapsed mappings, one
+// goroutine per lane budget.
+func AblationVLCollapse(p Params, lanes []int) []VLCollapseRow {
+	rows := make([]VLCollapseRow, len(lanes))
+	var wg sync.WaitGroup
+	for i, v := range lanes {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			run, err := SetupWith(p, SmallPayload, func(cfg *fabric.Config) {
+				cfg.DataVLs = v
+			})
+			if err != nil {
+				rows[i] = VLCollapseRow{DataVLs: v, Err: err}
+				return
+			}
+			run.Execute()
+			all := stats.NewDelayCDF()
+			for _, f := range run.Flows {
+				all.Merge(f.Delay)
+			}
+			rows[i] = VLCollapseRow{
+				DataVLs:            v,
+				Connections:        len(run.Flows),
+				HostReservation:    run.Net.Adm.MeanHostReservation(),
+				DeadlineMetPercent: all.PercentMeetingDeadline(),
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	return rows
+}
+
+// PrintVLCollapse renders the VL-collapse ablation.
+func PrintVLCollapse(w io.Writer, rows []VLCollapseRow) {
+	fmt.Fprintln(w, "Ablation — collapsing service levels onto fewer data VLs")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "data VLs\tconns admitted\tmean host reservation (Mbps)\tdeadline met (%)")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%d\terror: %v\n", r.DataVLs, r.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.2f\n", r.DataVLs, r.Connections, r.HostReservation, r.DeadlineMetPercent)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,95 @@
+// Package fabric is the event-driven InfiniBand network model of the
+// evaluation: 8-port switches with per-VL input buffering, a
+// multiplexed crossbar, credit-based virtual-lane flow control, and
+// output-port scheduling driven by the VLArbitrationTable arbiters.
+// It reproduces the simulation environment of section 4.1 of the paper
+// (the authors' simulator is not available; DESIGN.md documents the
+// substitution).
+//
+// Time is measured in byte times of the 1x data rate: transmitting a
+// packet of w wire bytes occupies its link and crossbar paths for w
+// byte times.
+package fabric
+
+import (
+	"repro/internal/sl"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Flow is one traffic stream: either an admitted QoS connection (CBR
+// at its reserved mean bandwidth, with an end-to-end deadline) or a
+// best-effort background flow.
+type Flow struct {
+	ID       int
+	Src, Dst int
+	SL, VL   uint8
+	Mbps     float64
+	Payload  int   // payload bytes per packet
+	Wire     int   // payload + header bytes
+	IAT      int64 // nominal packet interarrival, byte times
+	Deadline int64 // end-to-end guarantee in byte times; 0 = best effort
+	QoS      bool
+
+	// Measurement-window statistics.
+	Injected  stats.Meter
+	Delivered stats.Meter
+	Delay     *stats.DelayCDF
+	Jitter    *stats.JitterHist
+	Drops     int64
+
+	lastArrival int64 // previous delivery time within the window, -1 if none
+	stopped     bool
+
+	// Whole-run packet counters (independent of the measurement
+	// window), used to detect when a stopping flow has drained.
+	genPkts, delPkts int64
+
+	// pacing, when non-nil, returns the gap to the next packet
+	// generation; nil means constant-bit-rate spacing at IAT.  Used by
+	// the VBR extension.
+	pacing func() int64
+}
+
+// newFlow builds the runtime state shared by both flow kinds.
+func newFlow(id, src, dst int, slv, vl uint8, mbps float64, payload int, deadline int64, qos bool) *Flow {
+	return &Flow{
+		ID: id, Src: src, Dst: dst, SL: slv, VL: vl,
+		Mbps:        mbps,
+		Payload:     payload,
+		Wire:        payload + sl.HeaderBytes,
+		IAT:         traffic.IATByteTimes(payload, mbps),
+		Deadline:    deadline,
+		QoS:         qos,
+		Delay:       stats.NewDelayCDF(),
+		Jitter:      &stats.JitterHist{},
+		lastArrival: -1,
+	}
+}
+
+// resetMeasurement clears the per-flow statistics at the start of the
+// measurement window.
+func (f *Flow) resetMeasurement() {
+	f.Injected = stats.Meter{}
+	f.Delivered = stats.Meter{}
+	f.Delay = stats.NewDelayCDF()
+	f.Jitter = &stats.JitterHist{}
+	f.lastArrival = -1
+	f.Drops = 0
+}
+
+// Packet is one in-flight packet.  The VL is fixed end to end because
+// the SLtoVL mapping is the same at every link in the evaluation
+// configurations.
+type Packet struct {
+	Flow     *Flow
+	VL       uint8
+	Dst      int
+	Wire     int
+	Injected int64 // generation time at the source host
+
+	// Tag carries upper-layer context through the fabric untouched;
+	// the transport package uses it for message reassembly.  Zero for
+	// plain flow packets.
+	Tag int64
+}

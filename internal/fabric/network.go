@@ -1,0 +1,813 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/admission"
+	"repro/internal/arbtable"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/sl"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Config parameterizes a simulated network.
+type Config struct {
+	Switches      int   // number of switches
+	Seed          int64 // topology wiring and traffic phases
+	PayloadBytes  int   // MTU payload per packet (paper: small=256, large=2048)
+	BufferPackets int   // input buffer per VL, in whole packets (paper: 4)
+	LinkLatency   int64 // wire + forwarding latency per hop, byte times
+	Limit         uint8 // LimitOfHighPriority for every port
+
+	HostQueueCap       int // per-VL host send-queue bound for QoS flows, packets
+	BestEffortQueueCap int // per-VL bound for best-effort flows, packets
+
+	// DataVLs restricts the number of data virtual lanes the fabric
+	// implements.  Zero (or 15) keeps the identity SLtoVL mapping of
+	// the evaluation; smaller values collapse service levels onto
+	// shared lanes via sl.CollapsedMapping, tightening the shared
+	// groups to their most restrictive distance.
+	DataVLs int
+
+	// CrossbarSpeedup is the internal speedup of the multiplexed
+	// crossbar: an input port finishes its transfer to the crossbar in
+	// wire/CrossbarSpeedup byte times, while the output link still
+	// needs the full wire time.  Speedup 2 is the standard remedy for
+	// the opportunity loss an output arbiter suffers when the input
+	// holding its scheduled VL is still busy with another transfer.
+	CrossbarSpeedup int
+
+	// Low-priority table weights for the best-effort service levels
+	// (PBE, BE, CH); zero selects the defaults.
+	LowWeights [3]uint8
+}
+
+// DefaultConfig returns the evaluation configuration of the paper's
+// section 4.1 for the given packet payload.
+func DefaultConfig(switches int, payload int, seed int64) Config {
+	return Config{
+		Switches:           switches,
+		Seed:               seed,
+		PayloadBytes:       payload,
+		BufferPackets:      4,
+		LinkLatency:        20,
+		Limit:              arbtable.UnlimitedHigh,
+		HostQueueCap:       512,
+		BestEffortQueueCap: 8,
+		CrossbarSpeedup:    2,
+		LowWeights:         [3]uint8{8, 4, 1},
+	}
+}
+
+// Network is a complete simulated fabric: topology, routing,
+// arbitration state shared with admission control, switches, hosts and
+// traffic flows, all driven by one event engine.
+type Network struct {
+	Cfg     Config
+	Topo    *topology.Topology
+	Routes  *routing.Routes
+	Mapping sl.Mapping
+	Engine  *sim.Engine
+	Adm     *admission.Controller
+
+	switches []*swNode
+	hosts    []*hostNode
+	flows    []*Flow
+	rng      *rand.Rand
+
+	measuring    bool
+	measureStart int64
+	genStopped   bool
+
+	// Whole-run conservation counters (independent of measurement).
+	totalInjected  int64
+	totalDelivered int64
+	totalDropped   int64
+
+	// Measurement-window network totals.
+	injectedBytes  int64
+	deliveredBytes int64
+
+	// OnDeliver, when set, observes every packet reaching its
+	// destination host (after the flow statistics update).  The
+	// transport layer hooks message reassembly here.
+	OnDeliver func(*Packet)
+}
+
+// Validate checks a configuration for values that would corrupt the
+// simulation (zero payload, zero buffers, non-positive speedup, ...).
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Switches < 2:
+		return fmt.Errorf("fabric: need at least 2 switches, got %d", cfg.Switches)
+	case cfg.PayloadBytes < 1 || cfg.PayloadBytes > 4096:
+		return fmt.Errorf("fabric: payload %d outside IBA MTU range [1,4096]", cfg.PayloadBytes)
+	case cfg.BufferPackets < 1:
+		return fmt.Errorf("fabric: buffer of %d packets", cfg.BufferPackets)
+	case cfg.LinkLatency < 0:
+		return fmt.Errorf("fabric: negative link latency")
+	case cfg.CrossbarSpeedup < 1:
+		return fmt.Errorf("fabric: crossbar speedup %d", cfg.CrossbarSpeedup)
+	case cfg.HostQueueCap < 1 || cfg.BestEffortQueueCap < 1:
+		return fmt.Errorf("fabric: queue caps must be positive")
+	case cfg.DataVLs != 0 && (cfg.DataVLs < 3 || cfg.DataVLs > 15):
+		return fmt.Errorf("fabric: DataVLs %d outside [3,15]", cfg.DataVLs)
+	}
+	return nil
+}
+
+// New builds a network: generates the topology, computes routes,
+// creates the arbitration tables (seeding the low-priority tables for
+// best-effort VLs) and wires switch and host models together.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.Generate(cfg.Switches, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTopology(cfg, topo)
+}
+
+// NewWithTopology builds a network over an existing topology — e.g.
+// one degraded by a link failure — instead of generating a fresh one.
+// cfg.Switches must match the topology.
+func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.NumSwitches != cfg.Switches {
+		return nil, fmt.Errorf("fabric: topology has %d switches, config says %d",
+			topo.NumSwitches, cfg.Switches)
+	}
+	routes, err := routing.Compute(topo)
+	if err != nil {
+		return nil, err
+	}
+	mapping := sl.IdentityMapping()
+	if cfg.DataVLs > 0 && cfg.DataVLs < arbtable.NumDataVLs {
+		mapping, err = sl.CollapsedMapping(cfg.DataVLs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ports := admission.NewPorts(topo, cfg.Limit)
+
+	n := &Network{
+		Cfg:     cfg,
+		Topo:    topo,
+		Routes:  routes,
+		Mapping: mapping,
+		Engine:  &sim.Engine{},
+		Adm:     admission.NewController(topo, routes, mapping, ports),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+	}
+	// Reservations must cover wire bytes, not just payload, so that
+	// the header overhead of small packets cannot erode guarantees.
+	n.Adm.WireFactor = float64(cfg.PayloadBytes+sl.HeaderBytes) / float64(cfg.PayloadBytes)
+	n.Adm.PacketWire = cfg.PayloadBytes + sl.HeaderBytes
+	if cfg.DataVLs > 0 && cfg.DataVLs < arbtable.NumDataVLs {
+		n.Adm.Distances = sl.EffectiveDistances(sl.DefaultLevels, mapping)
+	}
+
+	low := []arbtable.Entry{
+		{VL: mapping.VLFor(sl.PBESL), Weight: cfg.LowWeights[0]},
+		{VL: mapping.VLFor(sl.BESL), Weight: cfg.LowWeights[1]},
+		{VL: mapping.VLFor(sl.CHSL), Weight: cfg.LowWeights[2]},
+	}
+
+	// Hosts.
+	n.hosts = make([]*hostNode, topo.NumHosts())
+	for h := range n.hosts {
+		table := ports.Host[h].Allocator().Table()
+		table.Low = append([]arbtable.Entry(nil), low...)
+		sw, port := topo.HostSwitch(h)
+		node := &hostNode{
+			id: h,
+			out: outPort{
+				arb:        arbtable.NewArbiter(table),
+				downSwitch: sw, downPort: port, downHost: -1,
+				wired: true,
+			},
+		}
+		h := h
+		node.out.kickFn = func() {
+			node.out.pending = false
+			n.tryHost(h)
+		}
+		n.hosts[h] = node
+	}
+
+	// Switches.
+	n.switches = make([]*swNode, topo.NumSwitches)
+	for s := range n.switches {
+		node := &swNode{id: s}
+		for p := 0; p < topology.SwitchPorts; p++ {
+			table := ports.Switch[s][p].Allocator().Table()
+			table.Low = append([]arbtable.Entry(nil), low...)
+			op := &node.out[p]
+			op.arb = arbtable.NewArbiter(table)
+			op.downSwitch, op.downPort, op.downHost = -1, -1, -1
+			ip := &node.in[p]
+			ip.upSwitch, ip.upPort, ip.upHost = -1, -1, -1
+
+			if host := topo.HostAt(s, p); host >= 0 {
+				op.downHost = host
+				op.wired = true
+				ip.upHost = host
+				continue
+			}
+			if peer := topo.Peer(s, p); peer.Switch >= 0 {
+				op.downSwitch, op.downPort = peer.Switch, peer.Port
+				op.wired = true
+				ip.upSwitch, ip.upPort = peer.Switch, peer.Port
+			}
+		}
+		for p := 0; p < topology.SwitchPorts; p++ {
+			op := &node.out[p]
+			s, p := s, p
+			op.kickFn = func() {
+				op.pending = false
+				n.trySwitch(s, p)
+			}
+		}
+		n.switches[s] = node
+	}
+	return n, nil
+}
+
+// bufferCapacity is the per-VL input buffer size in bytes.
+func (n *Network) bufferCapacity() int {
+	return n.Cfg.BufferPackets * (n.Cfg.PayloadBytes + sl.HeaderBytes)
+}
+
+// AddConnection attaches a CBR traffic flow for an admitted QoS
+// connection.
+func (n *Network) AddConnection(conn *admission.Conn) *Flow {
+	f := newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
+		conn.Req.Level.SL, n.Mapping.VLFor(conn.Req.Level.SL),
+		conn.Req.Mbps, n.Cfg.PayloadBytes, conn.Deadline, true)
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// AddMisbehavingConnection attaches a flow for an admitted connection
+// that actually transmits at actualMbps instead of the reserved rate —
+// the overshooting-source scenario of the paper's section 3.2
+// (misbehavior only hurts connections sharing the same VL).
+func (n *Network) AddMisbehavingConnection(conn *admission.Conn, actualMbps float64) *Flow {
+	f := newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
+		conn.Req.Level.SL, n.Mapping.VLFor(conn.Req.Level.SL),
+		actualMbps, n.Cfg.PayloadBytes, conn.Deadline, true)
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// AddVBRConnection attaches a variable-bit-rate flow for an admitted
+// connection: an on/off source that emits bursts of burst packets at
+// peakFactor times the reserved mean rate, then stays silent long
+// enough to preserve the mean.  The reservation itself is whatever the
+// connection was admitted with, so this models VBR sources whose
+// bursts exceed their (mean-rate) reservation — the scenario the
+// companion VBR evaluation of the authors studies.
+func (n *Network) AddVBRConnection(conn *admission.Conn, peakFactor float64, burst int) *Flow {
+	f := n.AddConnection(conn)
+	if peakFactor <= 1 || burst < 2 {
+		return f
+	}
+	peakGap := int64(float64(f.IAT) / peakFactor)
+	if peakGap < 1 {
+		peakGap = 1
+	}
+	offGap := int64(burst)*f.IAT - int64(burst-1)*peakGap
+	k := 0
+	f.pacing = func() int64 {
+		k++
+		if k%burst == 0 {
+			return offGap
+		}
+		return peakGap
+	}
+	return f
+}
+
+// AddManagement attaches a subnet-management flow on VL 15.  VL 15 is
+// never listed in arbitration tables: it has absolute priority over
+// every data VL (IBA 1.0; paper section 2.1).
+func (n *Network) AddManagement(src, dst int, mbps float64) *Flow {
+	f := newFlow(len(n.flows), src, dst, arbtable.MgmtVL, arbtable.MgmtVL,
+		mbps, n.Cfg.PayloadBytes, 0, false)
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// AddBestEffort attaches a best-effort background flow.
+func (n *Network) AddBestEffort(be traffic.BestEffort) *Flow {
+	f := newFlow(len(n.flows), be.Src, be.Dst, be.SL, n.Mapping.VLFor(be.SL),
+		be.Mbps, n.Cfg.PayloadBytes, 0, false)
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// Flows returns all attached flows.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+// Start schedules the first packet of every flow at a random phase
+// within its interarrival period, decorrelating the CBR sources.
+func (n *Network) Start() {
+	for _, f := range n.flows {
+		n.StartFlow(f)
+	}
+}
+
+// InjectPacket enqueues one upper-layer packet of the given payload
+// size on a flow's virtual lane at its source host, bypassing the CBR
+// generator.  It reports false when the host queue is full (the packet
+// is dropped and counted).  The transport layer uses it to send
+// message segments.
+func (n *Network) InjectPacket(f *Flow, payload int, tag int64) bool {
+	now := n.Engine.Now()
+	pkt := &Packet{
+		Flow: f, VL: f.VL, Dst: f.Dst,
+		Wire: payload + sl.HeaderBytes, Injected: now, Tag: tag,
+	}
+	host := n.hosts[f.Src]
+	if host.qLen[f.VL] >= n.queueCap(f) {
+		f.Drops++
+		n.totalDropped++
+		return false
+	}
+	host.queues[f.VL] = append(host.queues[f.VL], pkt)
+	host.qLen[f.VL]++
+	n.totalInjected++
+	f.genPkts++
+	if n.measuring {
+		f.Injected.Add(pkt.Wire)
+		n.injectedBytes += int64(pkt.Wire)
+	}
+	n.kickHost(f.Src)
+	return true
+}
+
+// StartFlow schedules one flow's first packet (at a random phase
+// within its interarrival period).  Use it for flows attached after
+// Start, e.g. connections admitted while the fabric is live.
+func (n *Network) StartFlow(f *Flow) {
+	phase := int64(0)
+	if f.IAT > 1 {
+		phase = n.rng.Int63n(f.IAT)
+	}
+	n.Engine.At(n.Engine.Now()+phase, func() { n.generate(f) })
+}
+
+// StopGeneration stops all sources after their current packet; used by
+// drain tests and at the end of measurement.
+func (n *Network) StopGeneration() { n.genStopped = true }
+
+// ReleaseConnection tears down an admitted connection while the fabric
+// runs: the flow stops generating immediately, and once its in-flight
+// packets have drained the reservation is released from every table on
+// the path (freeing table slots while packets of a VL are still queued
+// could stall them forever, so the release waits).  onDone, if not
+// nil, runs right after the tables are updated.
+func (n *Network) ReleaseConnection(conn *admission.Conn, f *Flow, onDone func()) {
+	f.stopped = true
+	var poll func()
+	poll = func() {
+		if f.delPkts < f.genPkts {
+			n.Engine.After(f.IAT+1, poll)
+			return
+		}
+		if err := n.Adm.Release(conn); err != nil {
+			panic(fmt.Sprintf("fabric: releasing drained connection: %v", err))
+		}
+		if onDone != nil {
+			onDone()
+		}
+	}
+	n.Engine.Defer(poll)
+}
+
+// generate creates one packet of f, enqueues it at the source host and
+// schedules the next generation.
+func (n *Network) generate(f *Flow) {
+	if n.genStopped || f.stopped {
+		return
+	}
+	now := n.Engine.Now()
+	pkt := &Packet{Flow: f, VL: f.VL, Dst: f.Dst, Wire: f.Wire, Injected: now}
+	host := n.hosts[f.Src]
+	if host.qLen[f.VL] >= n.queueCap(f) {
+		f.Drops++
+		n.totalDropped++
+	} else {
+		host.queues[f.VL] = append(host.queues[f.VL], pkt)
+		host.qLen[f.VL]++
+		n.totalInjected++
+		f.genPkts++
+		if n.measuring {
+			f.Injected.Add(f.Wire)
+			n.injectedBytes += int64(f.Wire)
+		}
+		n.kickHost(f.Src)
+	}
+	gap := f.IAT
+	if f.pacing != nil {
+		gap = f.pacing()
+	}
+	n.Engine.After(gap, func() { n.generate(f) })
+}
+
+// kickHost schedules a scheduling pass at the host interface.
+func (n *Network) kickHost(h int) {
+	host := n.hosts[h]
+	if host.out.pending {
+		return
+	}
+	host.out.pending = true
+	n.Engine.Defer(host.out.kickFn)
+}
+
+// tryHost runs one arbitration decision at a host interface.
+func (n *Network) tryHost(h int) {
+	host := n.hosts[h]
+	now := n.Engine.Now()
+	if host.out.busyUntil > now {
+		return
+	}
+	down := &n.switches[host.out.downSwitch].in[host.out.downPort]
+	capacity := n.bufferCapacity()
+
+	// Subnet management (VL 15) preempts all data lanes.
+	if q := host.queues[arbtable.MgmtVL]; len(q) > 0 &&
+		down.occ[arbtable.MgmtVL]+q[0].Wire <= capacity {
+		pkt := q[0]
+		host.queues[arbtable.MgmtVL] = q[1:]
+		host.qLen[arbtable.MgmtVL]--
+		n.transmit(&host.out, pkt, nil, func() { n.kickHost(h) })
+		return
+	}
+
+	var ready arbtable.Ready
+	for vl := 0; vl < arbtable.NumDataVLs; vl++ {
+		q := host.queues[vl]
+		if len(q) == 0 {
+			continue
+		}
+		if down.occ[vl]+q[0].Wire > capacity {
+			continue // no credit
+		}
+		ready[vl] = q[0].Wire
+	}
+	vl, _, ok := host.out.arb.Pick(&ready)
+	if !ok {
+		return
+	}
+	pkt := host.queues[vl][0]
+	host.queues[vl] = host.queues[vl][1:]
+	host.qLen[vl]--
+	n.transmit(&host.out, pkt, nil, func() { n.kickHost(h) })
+}
+
+// kickSwitch schedules a scheduling pass at a switch output port.
+func (n *Network) kickSwitch(s, p int) {
+	out := &n.switches[s].out[p]
+	if !out.wired || out.pending {
+		return
+	}
+	out.pending = true
+	n.Engine.Defer(out.kickFn)
+}
+
+// kickHeadsOfInput re-arms exactly the output ports that the head
+// packets of one input port are routed to — the ports whose candidates
+// changed when that input's crossbar slot freed.
+func (n *Network) kickHeadsOfInput(s, i int) {
+	in := &n.switches[s].in[i]
+	for vl := 0; vl < arbtable.NumVLs; vl++ {
+		q := in.queues[vl]
+		if len(q) == 0 {
+			continue
+		}
+		n.kickSwitch(s, n.Routes.NextPort(s, q[0].Dst))
+	}
+}
+
+// trySwitch runs one arbitration decision at a switch output port:
+// the candidates are the head packets of the input VL queues that
+// route to this port, whose input crossbar slot is free and whose
+// downstream buffer has room.
+func (n *Network) trySwitch(s, p int) {
+	node := n.switches[s]
+	out := &node.out[p]
+	now := n.Engine.Now()
+	if !out.wired || out.busyUntil > now {
+		return
+	}
+
+	var down *inPort
+	capacity := n.bufferCapacity()
+	if out.downSwitch >= 0 {
+		down = &n.switches[out.downSwitch].in[out.downPort]
+	}
+
+	// Subnet management (VL 15) preempts all data lanes: serve the
+	// first eligible VL 15 head in round-robin input order.
+	{
+		vl := arbtable.MgmtVL
+		for k := 0; k < topology.SwitchPorts; k++ {
+			i := (out.rr[vl] + k) % topology.SwitchPorts
+			in := &node.in[i]
+			q := in.queues[vl]
+			if len(q) == 0 || in.busyUntil > now {
+				continue
+			}
+			pkt := q[0]
+			if n.Routes.NextPort(s, pkt.Dst) != p {
+				continue
+			}
+			if down != nil && down.occ[vl]+pkt.Wire > capacity {
+				continue
+			}
+			in.queues[vl] = q[1:]
+			out.rr[vl] = (i + 1) % topology.SwitchPorts
+			xfer := int64(pkt.Wire) / int64(n.Cfg.CrossbarSpeedup)
+			if xfer < 1 {
+				xfer = 1
+			}
+			in.busyUntil = now + xfer
+			n.Engine.At(now+xfer, func() { n.kickHeadsOfInput(s, i) })
+			n.transmit(out, pkt, in, func() { n.kickSwitch(s, p) })
+			return
+		}
+	}
+
+	var ready arbtable.Ready
+	var src [arbtable.NumDataVLs]int
+	for vl := 0; vl < arbtable.NumDataVLs; vl++ {
+		for k := 0; k < topology.SwitchPorts; k++ {
+			i := (out.rr[vl] + k) % topology.SwitchPorts
+			in := &node.in[i]
+			q := in.queues[vl]
+			if len(q) == 0 || in.busyUntil > now {
+				continue
+			}
+			pkt := q[0]
+			if n.Routes.NextPort(s, pkt.Dst) != p {
+				continue
+			}
+			if down != nil && down.occ[vl]+pkt.Wire > capacity {
+				continue // no credit toward the next switch
+			}
+			ready[vl] = pkt.Wire
+			src[vl] = i
+			break
+		}
+	}
+	vl, _, ok := out.arb.Pick(&ready)
+	if !ok {
+		return
+	}
+	i := src[vl]
+	in := &node.in[i]
+	pkt := in.queues[vl][0]
+	in.queues[vl] = in.queues[vl][1:]
+	out.rr[vl] = (i + 1) % topology.SwitchPorts
+	xfer := int64(pkt.Wire) / int64(n.Cfg.CrossbarSpeedup)
+	if xfer < 1 {
+		xfer = 1
+	}
+	in.busyUntil = now + xfer
+	n.Engine.At(now+xfer, func() { n.kickHeadsOfInput(s, i) })
+
+	n.transmit(out, pkt, in, func() {
+		n.kickSwitch(s, p)
+	})
+}
+
+// transmit puts pkt on out's wire: reserves downstream buffer space,
+// occupies the link for the packet duration, schedules the arrival and
+// the completion kick, and releases the source buffer (crediting its
+// upstream) when the packet has fully left.
+func (n *Network) transmit(out *outPort, pkt *Packet, srcBuf *inPort, onDone func()) {
+	now := n.Engine.Now()
+	dur := int64(pkt.Wire)
+	out.busyUntil = now + dur
+	if n.measuring {
+		out.meter.Add(pkt.Wire)
+	}
+
+	if out.downSwitch >= 0 {
+		down := &n.switches[out.downSwitch].in[out.downPort]
+		down.occ[pkt.VL] += pkt.Wire // credit consumed at send time
+	}
+
+	vl := pkt.VL
+	n.Engine.At(now+dur, func() {
+		if srcBuf != nil {
+			// The packet has left the input buffer: return the credit
+			// to whoever feeds it.
+			srcBuf.occ[vl] -= pkt.Wire
+			switch {
+			case srcBuf.upSwitch >= 0:
+				n.kickSwitch(srcBuf.upSwitch, srcBuf.upPort)
+			case srcBuf.upHost >= 0:
+				n.kickHost(srcBuf.upHost)
+			}
+		}
+		onDone()
+	})
+
+	n.Engine.At(now+dur+n.Cfg.LinkLatency, func() { n.arrive(out, pkt) })
+}
+
+// arrive lands a packet at the far end of a link: delivery when the
+// end is a host, enqueueing at the switch input otherwise.
+func (n *Network) arrive(out *outPort, pkt *Packet) {
+	if out.downHost >= 0 {
+		n.deliver(pkt)
+		return
+	}
+	s := out.downSwitch
+	in := &n.switches[s].in[out.downPort]
+	in.queues[pkt.VL] = append(in.queues[pkt.VL], pkt)
+	n.kickSwitch(s, n.Routes.NextPort(s, pkt.Dst))
+}
+
+// deliver records a packet reaching its destination host.
+func (n *Network) deliver(pkt *Packet) {
+	n.totalDelivered++
+	pkt.Flow.delPkts++
+	if n.OnDeliver != nil {
+		defer n.OnDeliver(pkt)
+	}
+	if !n.measuring {
+		return
+	}
+	f := pkt.Flow
+	now := n.Engine.Now()
+	f.Delivered.Add(pkt.Wire)
+	n.deliveredBytes += int64(pkt.Wire)
+	if f.QoS && f.Deadline > 0 {
+		delay := now - pkt.Injected
+		f.Delay.Add(float64(delay) / float64(f.Deadline))
+	}
+	if f.lastArrival >= 0 && f.IAT > 0 {
+		dev := float64(now-f.lastArrival-f.IAT) / float64(f.IAT)
+		f.Jitter.Add(dev)
+	}
+	f.lastArrival = now
+}
+
+// StartMeasurement begins the steady-state window: per-flow statistics
+// and port meters reset and deliveries start counting.
+func (n *Network) StartMeasurement() {
+	n.measuring = true
+	n.measureStart = n.Engine.Now()
+	n.injectedBytes, n.deliveredBytes = 0, 0
+	for _, f := range n.flows {
+		f.resetMeasurement()
+	}
+	for _, h := range n.hosts {
+		h.out.meter.Bytes, h.out.meter.Packets = 0, 0
+	}
+	for _, s := range n.switches {
+		for p := range s.out {
+			s.out[p].meter.Bytes, s.out[p].meter.Packets = 0, 0
+		}
+	}
+}
+
+// MeasuredElapsed returns the length of the measurement window so far.
+func (n *Network) MeasuredElapsed() int64 { return n.Engine.Now() - n.measureStart }
+
+// Totals returns whole-run conservation counters: packets injected
+// into host queues, delivered to destinations, and dropped at source
+// queues.
+func (n *Network) Totals() (injected, delivered, dropped int64) {
+	return n.totalInjected, n.totalDelivered, n.totalDropped
+}
+
+// QueuedPackets counts packets currently sitting in host send queues
+// and switch input buffers (for conservation checks).
+func (n *Network) QueuedPackets() int64 {
+	var q int64
+	for _, h := range n.hosts {
+		for vl := range h.queues {
+			q += int64(len(h.queues[vl]))
+		}
+	}
+	for _, s := range n.switches {
+		for p := range s.in {
+			for vl := range s.in[p].queues {
+				q += int64(len(s.in[p].queues[vl]))
+			}
+		}
+	}
+	return q
+}
+
+// InjectedBytesPerCyclePerNode and DeliveredBytesPerCyclePerNode are
+// the Table 2 traffic rows: bytes per byte time per host over the
+// measurement window.
+func (n *Network) InjectedBytesPerCyclePerNode() float64 {
+	el := n.MeasuredElapsed()
+	if el <= 0 {
+		return 0
+	}
+	return float64(n.injectedBytes) / float64(el) / float64(len(n.hosts))
+}
+
+// DeliveredBytesPerCyclePerNode reports delivered traffic normalized
+// like InjectedBytesPerCyclePerNode.
+func (n *Network) DeliveredBytesPerCyclePerNode() float64 {
+	el := n.MeasuredElapsed()
+	if el <= 0 {
+		return 0
+	}
+	return float64(n.deliveredBytes) / float64(el) / float64(len(n.hosts))
+}
+
+// MeanHostUtilization returns the average host-interface link
+// utilization (%) over the measurement window.
+func (n *Network) MeanHostUtilization() float64 {
+	el := n.MeasuredElapsed()
+	if el <= 0 || len(n.hosts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, h := range n.hosts {
+		sum += h.out.meter.Utilization(el)
+	}
+	return 100 * sum / float64(len(n.hosts))
+}
+
+// MeanSwitchPortUtilization returns the average utilization (%) of the
+// wired inter-switch output ports over the measurement window.
+func (n *Network) MeanSwitchPortUtilization() float64 {
+	el := n.MeasuredElapsed()
+	if el <= 0 {
+		return 0
+	}
+	sum, cnt := 0.0, 0
+	for _, s := range n.switches {
+		for p := topology.HostsPerSwitch; p < topology.SwitchPorts; p++ {
+			if !s.out[p].wired {
+				continue
+			}
+			sum += s.out[p].meter.Utilization(el)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return 100 * sum / float64(cnt)
+}
+
+// CheckBuffers verifies the credit accounting of every switch input
+// buffer: per-VL occupancy stays within [0, capacity] and covers at
+// least the bytes of the packets actually queued (the rest being
+// space reserved for packets still on the wire or in the crossbar).
+func (n *Network) CheckBuffers() error {
+	capacity := n.bufferCapacity()
+	for _, s := range n.switches {
+		for p := range s.in {
+			in := &s.in[p]
+			for vl := 0; vl < arbtable.NumVLs; vl++ {
+				occ := in.occ[vl]
+				if occ < 0 {
+					return fmt.Errorf("fabric: switch %d port %d VL %d occupancy %d < 0", s.id, p, vl, occ)
+				}
+				if occ > capacity {
+					return fmt.Errorf("fabric: switch %d port %d VL %d occupancy %d > capacity %d",
+						s.id, p, vl, occ, capacity)
+				}
+				queued := 0
+				for _, pkt := range in.queues[vl] {
+					queued += pkt.Wire
+				}
+				if queued > occ {
+					return fmt.Errorf("fabric: switch %d port %d VL %d queued %d bytes > occupancy %d",
+						s.id, p, vl, queued, occ)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConservation verifies that after generation has stopped and the
+// network drained, every injected packet was delivered or dropped.
+func (n *Network) CheckConservation() error {
+	queued := n.QueuedPackets()
+	if n.totalInjected != n.totalDelivered+queued {
+		return fmt.Errorf("fabric: injected %d != delivered %d + queued %d",
+			n.totalInjected, n.totalDelivered, queued)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package fabric
+
+import (
+	"repro/internal/arbtable"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// inPort is one switch input port: a FIFO queue per data VL plus the
+// credit state its upstream sender observes.  Buffer occupancy (occ)
+// is maintained by the *sender* at transmission start and decremented
+// when the packet leaves the buffer, so credits can never be
+// overcommitted while a packet is on the wire.
+type inPort struct {
+	queues [arbtable.NumVLs][]*Packet
+	occ    [arbtable.NumVLs]int // reserved bytes per VL buffer
+	// busyUntil models the multiplexed crossbar: only one VL of an
+	// input port can be transmitting through the switch at a time.
+	busyUntil int64
+
+	// Upstream end of the link feeding this port, for credit kicks:
+	// either a switch output port (upSwitch >= 0) or a host (upHost
+	// >= 0); unused ports have both negative.
+	upSwitch, upPort int
+	upHost           int
+}
+
+// outPort is one scheduling point: a switch output port or a host
+// interface.  It owns the weighted round-robin arbiter over the
+// arbitration table that admission control fills in.
+type outPort struct {
+	arb       *arbtable.Arbiter
+	busyUntil int64
+	pending   bool // a kick event is already scheduled
+
+	// kickFn is the preallocated deferred-kick closure for this port,
+	// built once at network construction so the hot path allocates
+	// nothing.
+	kickFn func()
+
+	// Round-robin cursor among input ports, per VL, so equal-VL heads
+	// at different inputs share the output fairly.
+	rr [arbtable.NumVLs]int
+
+	// Downstream end of the link: a switch input port (downSwitch >=
+	// 0) or a host (downHost >= 0); wired is false for unused ports.
+	downSwitch, downPort int
+	downHost             int
+	wired                bool
+
+	// Meter counts bytes put on the wire during the measurement
+	// window (Table 2 utilization rows).
+	meter stats.Meter
+}
+
+// swNode is one switch.
+type swNode struct {
+	id  int
+	in  [topology.SwitchPorts]inPort
+	out [topology.SwitchPorts]outPort
+}
+
+// hostNode is one end node: its channel adapter has per-VL send queues
+// scheduled by the host's own arbitration table, and a receive side
+// that consumes at link rate (deliveries are recorded immediately).
+type hostNode struct {
+	id     int
+	queues [arbtable.NumVLs][]*Packet
+	qLen   [arbtable.NumVLs]int // packets queued per VL
+	out    outPort
+}
+
+// queueCap bounds a host send queue.  QoS queues are sized generously
+// (admission keeps them short; overflowing one indicates a broken
+// reservation and is counted as a drop), best-effort queues small.
+func (n *Network) queueCap(f *Flow) int {
+	if f.QoS {
+		return n.Cfg.HostQueueCap
+	}
+	return n.Cfg.BestEffortQueueCap
+}

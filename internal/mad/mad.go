@@ -1,0 +1,360 @@
+// Package mad implements the wire format of InfiniBand management
+// datagrams (MADs) — the packets a subnet manager uses to discover the
+// fabric and program the tables the paper's proposal fills in.  It
+// covers the subset of IBA 1.0 chapter 13/14 the control plane of this
+// repository needs: the common MAD header, subnet-management methods,
+// and the attributes NodeInfo, PortInfo, SLtoVLMappingTable,
+// VLArbitrationTable and LinearForwardingTable.
+//
+// All encodings are big endian (network order) at the offsets the
+// specification assigns; every encode has a decode and the pair round
+// trips exactly, so programmed state can be read back verbatim.
+package mad
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/arbtable"
+	"repro/internal/sl"
+)
+
+// Size is the fixed size of every MAD in bytes.
+const Size = 256
+
+// Management classes.
+const (
+	ClassSubnLID      = 0x01 // LID-routed subnet management
+	ClassSubnDirected = 0x81 // directed-route subnet management
+)
+
+// Methods.
+const (
+	MethodGet     = 0x01
+	MethodSet     = 0x02
+	MethodGetResp = 0x81
+)
+
+// Attribute IDs (IBA 1.0 table 104).
+const (
+	AttrNodeInfo         = 0x0011
+	AttrPortInfo         = 0x0015
+	AttrVLArbitration    = 0x0016
+	AttrSLtoVLMapping    = 0x0017
+	AttrLinearForwarding = 0x0019
+)
+
+// smpDataOffset is where SMP attribute data starts within the MAD.
+const smpDataOffset = 64
+
+// smpDataSize is the attribute payload capacity of an SMP.
+const smpDataSize = 64
+
+// Header is the common MAD header.
+type Header struct {
+	BaseVersion  uint8
+	MgmtClass    uint8
+	ClassVersion uint8
+	Method       uint8
+	Status       uint16
+	HopInfo      uint16 // directed-route hop pointer/count
+	TID          uint64
+	AttrID       uint16
+	AttrModifier uint32
+}
+
+// Packet is one MAD with its attribute payload.
+type Packet struct {
+	Header Header
+	// Data is the SMP attribute payload (up to 64 bytes).
+	Data []byte
+}
+
+// Marshal renders the packet into its 256-byte wire form.
+func (p *Packet) Marshal() ([]byte, error) {
+	if len(p.Data) > smpDataSize {
+		return nil, fmt.Errorf("mad: attribute payload %d exceeds %d bytes", len(p.Data), smpDataSize)
+	}
+	buf := make([]byte, Size)
+	h := p.Header
+	buf[0] = h.BaseVersion
+	buf[1] = h.MgmtClass
+	buf[2] = h.ClassVersion
+	buf[3] = h.Method
+	binary.BigEndian.PutUint16(buf[4:6], h.Status)
+	binary.BigEndian.PutUint16(buf[6:8], h.HopInfo)
+	binary.BigEndian.PutUint64(buf[8:16], h.TID)
+	binary.BigEndian.PutUint16(buf[16:18], h.AttrID)
+	binary.BigEndian.PutUint32(buf[20:24], h.AttrModifier)
+	copy(buf[smpDataOffset:], p.Data)
+	return buf, nil
+}
+
+// Unmarshal parses a 256-byte wire MAD.
+func Unmarshal(buf []byte) (*Packet, error) {
+	if len(buf) != Size {
+		return nil, fmt.Errorf("mad: packet is %d bytes, want %d", len(buf), Size)
+	}
+	p := &Packet{
+		Header: Header{
+			BaseVersion:  buf[0],
+			MgmtClass:    buf[1],
+			ClassVersion: buf[2],
+			Method:       buf[3],
+			Status:       binary.BigEndian.Uint16(buf[4:6]),
+			HopInfo:      binary.BigEndian.Uint16(buf[6:8]),
+			TID:          binary.BigEndian.Uint64(buf[8:16]),
+			AttrID:       binary.BigEndian.Uint16(buf[16:18]),
+			AttrModifier: binary.BigEndian.Uint32(buf[20:24]),
+		},
+		Data: append([]byte(nil), buf[smpDataOffset:smpDataOffset+smpDataSize]...),
+	}
+	return p, nil
+}
+
+// NodeInfo is the discovery attribute: what kind of device answered
+// and how many ports it has.
+type NodeInfo struct {
+	NodeType uint8 // 1 = channel adapter, 2 = switch
+	NumPorts uint8
+	GUID     uint64
+	LID      uint16 // carried here for the simulator's convenience
+}
+
+// Node types.
+const (
+	NodeTypeCA     = 1
+	NodeTypeSwitch = 2
+)
+
+// EncodeNodeInfo renders a NodeInfo attribute payload.
+func EncodeNodeInfo(n NodeInfo) []byte {
+	buf := make([]byte, smpDataSize)
+	buf[0] = 1 // base version
+	buf[1] = 1 // class version
+	buf[2] = n.NodeType
+	buf[3] = n.NumPorts
+	binary.BigEndian.PutUint64(buf[8:16], n.GUID)
+	binary.BigEndian.PutUint16(buf[16:18], n.LID)
+	return buf
+}
+
+// DecodeNodeInfo parses a NodeInfo payload.
+func DecodeNodeInfo(data []byte) (NodeInfo, error) {
+	if len(data) < 18 {
+		return NodeInfo{}, fmt.Errorf("mad: NodeInfo payload too short (%d)", len(data))
+	}
+	n := NodeInfo{
+		NodeType: data[2],
+		NumPorts: data[3],
+		GUID:     binary.BigEndian.Uint64(data[8:16]),
+		LID:      binary.BigEndian.Uint16(data[16:18]),
+	}
+	if n.NodeType != NodeTypeCA && n.NodeType != NodeTypeSwitch {
+		return NodeInfo{}, fmt.Errorf("mad: unknown node type %d", n.NodeType)
+	}
+	return n, nil
+}
+
+// EncodeSLtoVL packs an SLtoVLMappingTable: 16 service levels to 4-bit
+// virtual lanes, two per byte (SL 0 in the high nibble of byte 0).
+func EncodeSLtoVL(m sl.Mapping) []byte {
+	buf := make([]byte, 8)
+	for i := 0; i < arbtable.NumVLs; i++ {
+		vl := m.VLFor(uint8(i)) & 0x0f
+		if i%2 == 0 {
+			buf[i/2] |= vl << 4
+		} else {
+			buf[i/2] |= vl
+		}
+	}
+	return buf
+}
+
+// DecodeSLtoVL unpacks an SLtoVLMappingTable payload.
+func DecodeSLtoVL(data []byte) (sl.Mapping, error) {
+	var m sl.Mapping
+	if len(data) < 8 {
+		return m, fmt.Errorf("mad: SLtoVL payload too short (%d)", len(data))
+	}
+	for i := 0; i < arbtable.NumVLs; i++ {
+		b := data[i/2]
+		if i%2 == 0 {
+			m[i] = b >> 4
+		} else {
+			m[i] = b & 0x0f
+		}
+	}
+	return m, nil
+}
+
+// VL arbitration blocks: the 64-entry high-priority table travels in
+// two blocks of 32 entries (attribute modifiers 1 and 2); the low
+// table uses modifiers 3 and 4.  Each entry is two bytes: VL in the
+// low nibble of the first, weight in the second.
+const (
+	ArbBlockEntries = 32
+	ArbModHighLower = 1
+	ArbModHighUpper = 2
+	ArbModLowLower  = 3
+	ArbModLowUpper  = 4
+)
+
+// EncodeArbBlock renders one 32-entry arbitration block.
+func EncodeArbBlock(entries []arbtable.Entry) ([]byte, error) {
+	if len(entries) > ArbBlockEntries {
+		return nil, fmt.Errorf("mad: %d entries exceed block size %d", len(entries), ArbBlockEntries)
+	}
+	buf := make([]byte, 2*ArbBlockEntries)
+	for i, e := range entries {
+		buf[2*i] = e.VL & 0x0f
+		buf[2*i+1] = e.Weight
+	}
+	return buf, nil
+}
+
+// DecodeArbBlock parses one arbitration block.
+func DecodeArbBlock(data []byte) ([]arbtable.Entry, error) {
+	if len(data) < 2*ArbBlockEntries {
+		return nil, fmt.Errorf("mad: arbitration block too short (%d)", len(data))
+	}
+	out := make([]arbtable.Entry, ArbBlockEntries)
+	for i := range out {
+		out[i] = arbtable.Entry{VL: data[2*i] & 0x0f, Weight: data[2*i+1]}
+	}
+	return out, nil
+}
+
+// HighTableSMPs builds the two Set(VLArbitrationTable) SMPs that
+// program a port's high-priority table, exactly as a subnet manager
+// would issue them.
+func HighTableSMPs(tid uint64, t *arbtable.Table) ([]*Packet, error) {
+	var out []*Packet
+	for half := 0; half < 2; half++ {
+		block, err := EncodeArbBlock(t.High[half*ArbBlockEntries : (half+1)*ArbBlockEntries])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Packet{
+			Header: Header{
+				BaseVersion: 1, MgmtClass: ClassSubnLID, ClassVersion: 1,
+				Method: MethodSet, TID: tid + uint64(half),
+				AttrID:       AttrVLArbitration,
+				AttrModifier: uint32(ArbModHighLower + half),
+			},
+			Data: block,
+		})
+	}
+	return out, nil
+}
+
+// DecodeHighTable folds the two high-table SMPs back into a table's
+// high-priority entries (the read-back path).
+func DecodeHighTable(pkts []*Packet) (*arbtable.Table, error) {
+	t := arbtable.New(arbtable.UnlimitedHigh)
+	seen := 0
+	for _, p := range pkts {
+		if p.Header.AttrID != AttrVLArbitration {
+			continue
+		}
+		var base int
+		switch p.Header.AttrModifier {
+		case ArbModHighLower:
+			base = 0
+		case ArbModHighUpper:
+			base = ArbBlockEntries
+		default:
+			continue
+		}
+		entries, err := DecodeArbBlock(p.Data)
+		if err != nil {
+			return nil, err
+		}
+		copy(t.High[base:], entries)
+		seen++
+	}
+	if seen != 2 {
+		return nil, fmt.Errorf("mad: high table needs 2 blocks, got %d", seen)
+	}
+	return t, nil
+}
+
+// LinearForwardingBlock packs one block of 64 destination LIDs'
+// output ports.
+func LinearForwardingBlock(ports []uint8) ([]byte, error) {
+	if len(ports) > smpDataSize {
+		return nil, fmt.Errorf("mad: %d LFT entries exceed block size %d", len(ports), smpDataSize)
+	}
+	buf := make([]byte, smpDataSize)
+	copy(buf, ports)
+	return buf, nil
+}
+
+// Port states (PortInfo.PortState).
+const (
+	PortStateDown   = 1
+	PortStateInit   = 2
+	PortStateArmed  = 3
+	PortStateActive = 4
+)
+
+// PortInfo is the port attribute subset the control plane uses: the
+// assigned LID, the port's state, its neighbor MTU code and its VL
+// capability.
+type PortInfo struct {
+	LID            uint16
+	PortState      uint8 // PortStateDown .. PortStateActive
+	NeighborMTU    uint8 // MTU code: 1=256 .. 5=4096
+	VLCap          uint8 // data VLs implemented
+	OperationalVLs uint8 // data VLs enabled by the SM
+}
+
+// MTUBytes converts an IBA MTU code to bytes (0 for invalid codes).
+func MTUBytes(code uint8) int {
+	if code < 1 || code > 5 {
+		return 0
+	}
+	return 256 << (code - 1)
+}
+
+// MTUCode converts a byte size to the smallest IBA MTU code that fits
+// it, or 0 when the size exceeds 4096.
+func MTUCode(bytes int) uint8 {
+	for code := uint8(1); code <= 5; code++ {
+		if bytes <= MTUBytes(code) {
+			return code
+		}
+	}
+	return 0
+}
+
+// EncodePortInfo renders a PortInfo attribute payload (LID at offset
+// 16, state in the low nibble of byte 32, MTU/VLCap nibbles in byte
+// 33, operational VLs in the high nibble of byte 34 — the offsets the
+// specification assigns to these fields).
+func EncodePortInfo(p PortInfo) []byte {
+	buf := make([]byte, smpDataSize)
+	binary.BigEndian.PutUint16(buf[16:18], p.LID)
+	buf[32] = p.PortState & 0x0f
+	buf[33] = (p.NeighborMTU&0x0f)<<4 | (p.VLCap & 0x0f)
+	buf[34] = (p.OperationalVLs & 0x0f) << 4
+	return buf
+}
+
+// DecodePortInfo parses a PortInfo payload.
+func DecodePortInfo(data []byte) (PortInfo, error) {
+	if len(data) < 35 {
+		return PortInfo{}, fmt.Errorf("mad: PortInfo payload too short (%d)", len(data))
+	}
+	p := PortInfo{
+		LID:            binary.BigEndian.Uint16(data[16:18]),
+		PortState:      data[32] & 0x0f,
+		NeighborMTU:    data[33] >> 4,
+		VLCap:          data[33] & 0x0f,
+		OperationalVLs: data[34] >> 4,
+	}
+	if p.PortState < PortStateDown || p.PortState > PortStateActive {
+		return PortInfo{}, fmt.Errorf("mad: port state %d out of range", p.PortState)
+	}
+	return p, nil
+}

@@ -1,0 +1,249 @@
+// Package routing implements up*/down* routing for irregular networks,
+// the standard deadlock-free routing for InfiniBand-era irregular
+// topologies.  A breadth-first spanning tree rooted at switch 0
+// assigns every link an "up" direction (toward the root); a legal
+// route traverses zero or more up links followed by zero or more down
+// links, which breaks all channel-dependency cycles.
+//
+// Forwarding is destination based, as in InfiniBand linear forwarding
+// tables: each switch maps a destination switch to one output port.
+// The tables follow the greedy-down discipline — a packet starts
+// descending as soon as a pure-down path to the destination exists —
+// which guarantees that every realized path is legal regardless of the
+// packet's source.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Routes holds the forwarding state for one topology.
+type Routes struct {
+	topo *topology.Topology
+	// level[s] is the BFS depth of switch s from the root.
+	level []int
+	// next[s][d] is the output port switch s uses toward destination
+	// switch d (-1 when s == d).
+	next [][]int
+}
+
+// Compute builds up*/down* forwarding tables for the topology.  The
+// topology must be connected.
+func Compute(topo *topology.Topology) (*Routes, error) {
+	if !topo.Connected() {
+		return nil, fmt.Errorf("routing: topology is not connected")
+	}
+	n := topo.NumSwitches
+	r := &Routes{topo: topo, level: make([]int, n), next: make([][]int, n)}
+	for i := range r.level {
+		r.level[i] = -1
+	}
+	// BFS levels from root switch 0.
+	r.level[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, nb := range topo.Neighbors(s) {
+			if r.level[nb.Switch] < 0 {
+				r.level[nb.Switch] = r.level[s] + 1
+				queue = append(queue, nb.Switch)
+			}
+		}
+	}
+
+	for s := range r.next {
+		r.next[s] = make([]int, n)
+		for d := range r.next[s] {
+			r.next[s][d] = -1
+		}
+	}
+	for d := 0; d < n; d++ {
+		if err := r.computeDest(d); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// isUp reports whether traversing from a to b is an "up" move: toward
+// the root, with switch index breaking ties between equal levels.
+func (r *Routes) isUp(a, b int) bool {
+	if r.level[b] != r.level[a] {
+		return r.level[b] < r.level[a]
+	}
+	return b < a
+}
+
+// computeDest fills the forwarding column for destination switch d.
+//
+// downDist[s] is the length of the shortest pure-down path s -> d
+// (infinite when none exists).  upDist[s] is the shortest legal path
+// length overall.  The forwarding rule at s:
+//
+//   - if a down neighbor continues a shortest pure-down path, descend;
+//   - otherwise take the up link minimizing the remaining legal
+//     distance.
+//
+// Ties choose the lowest port, making the tables deterministic.
+func (r *Routes) computeDest(d int) error {
+	n := r.topo.NumSwitches
+	const inf = math.MaxInt32
+
+	// Pure-down distances: BFS from d expanding in reverse, i.e. from
+	// x to each neighbor y such that y -> x is a down move.
+	downDist := make([]int, n)
+	for i := range downDist {
+		downDist[i] = inf
+	}
+	downDist[d] = 0
+	queue := []int{d}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, nb := range r.topo.Neighbors(x) {
+			y := nb.Switch
+			if downDist[y] == inf && !r.isUp(y, x) { // y -> x is down
+				downDist[y] = downDist[x] + 1
+				queue = append(queue, y)
+			}
+		}
+	}
+
+	// Legal distances: a path is up* then down*, so
+	// legal(s) = min over k of (up-distance from s to x) + downDist[x]
+	// where the up prefix climbs up links only.  BFS over the up graph
+	// seeded with the downDist values (multi-source Dijkstra with unit
+	// weights; a simple relaxation loop suffices at these sizes).
+	legal := make([]int, n)
+	copy(legal, downDist)
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			for _, nb := range r.topo.Neighbors(s) {
+				if !r.isUp(s, nb.Switch) {
+					continue // only up moves may precede the descent
+				}
+				if legal[nb.Switch] != inf && legal[nb.Switch]+1 < legal[s] {
+					legal[s] = legal[nb.Switch] + 1
+					changed = true
+				}
+			}
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		if s == d {
+			continue
+		}
+		if legal[s] == inf {
+			return fmt.Errorf("routing: no legal path from switch %d to %d", s, d)
+		}
+		best := -1
+		// Prefer descending: any down neighbor on a shortest pure-down
+		// path.
+		if downDist[s] != inf {
+			for _, nb := range r.topo.Neighbors(s) {
+				if !r.isUp(s, nb.Switch) && downDist[nb.Switch] == downDist[s]-1 {
+					best = nb.Port
+					break // neighbors are in ascending port order
+				}
+			}
+		}
+		if best < 0 {
+			bestDist := inf
+			for _, nb := range r.topo.Neighbors(s) {
+				if !r.isUp(s, nb.Switch) {
+					continue
+				}
+				if legal[nb.Switch]+1 < bestDist {
+					bestDist = legal[nb.Switch] + 1
+					best = nb.Port
+				}
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("routing: switch %d has no usable port toward %d", s, d)
+		}
+		r.next[s][d] = best
+	}
+	return nil
+}
+
+// NextPort returns the output port switch sw uses for a packet whose
+// destination is host dst.  When the host is attached to sw the host
+// port itself is returned.
+func (r *Routes) NextPort(sw, dstHost int) int {
+	dsw, dport := r.topo.HostSwitch(dstHost)
+	if dsw == sw {
+		return dport
+	}
+	return r.next[sw][dsw]
+}
+
+// Level returns the BFS level of a switch (root is 0).
+func (r *Routes) Level(sw int) int { return r.level[sw] }
+
+// PathSwitches returns the sequence of switches a packet visits from
+// the source host's switch to the destination host's switch,
+// inclusive.  It follows the forwarding tables, so its length is the
+// hop count admission control must account for.
+func (r *Routes) PathSwitches(srcHost, dstHost int) ([]int, error) {
+	s, _ := r.topo.HostSwitch(srcHost)
+	d, _ := r.topo.HostSwitch(dstHost)
+	path := []int{s}
+	for s != d {
+		p := r.next[s][d]
+		if p < 0 {
+			return nil, fmt.Errorf("routing: no route from switch %d to %d", s, d)
+		}
+		e := r.topo.Peer(s, p)
+		if e.Switch < 0 {
+			return nil, fmt.Errorf("routing: forwarding from switch %d uses dead port %d", s, p)
+		}
+		s = e.Switch
+		path = append(path, s)
+		if len(path) > r.topo.NumSwitches+1 {
+			return nil, fmt.Errorf("routing: loop detected from host %d to %d", srcHost, dstHost)
+		}
+	}
+	return path, nil
+}
+
+// CheckLegal verifies that every switch-to-switch route follows the
+// up*/down* rule (no up move after a down move) and terminates.  Used
+// by tests and the simulator's self-checks.
+func (r *Routes) CheckLegal() error {
+	n := r.topo.NumSwitches
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			cur := s
+			wentDown := false
+			for steps := 0; cur != d; steps++ {
+				if steps > n {
+					return fmt.Errorf("routing: route %d->%d does not terminate", s, d)
+				}
+				p := r.next[cur][d]
+				e := r.topo.Peer(cur, p)
+				if e.Switch < 0 {
+					return fmt.Errorf("routing: route %d->%d hits dead port at %d", s, d, cur)
+				}
+				up := r.isUp(cur, e.Switch)
+				if up && wentDown {
+					return fmt.Errorf("routing: route %d->%d goes up after down at switch %d", s, d, cur)
+				}
+				if !up {
+					wentDown = true
+				}
+				cur = e.Switch
+			}
+		}
+	}
+	return nil
+}

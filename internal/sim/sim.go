@@ -1,0 +1,125 @@
+// Package sim provides a deterministic discrete-event simulation
+// engine.  Time is an integer count of byte times (the time one byte
+// needs on a 1x InfiniBand data link); all models in the fabric
+// schedule closures on a single engine, so a run is single-goroutine
+// and fully reproducible.  Parallelism in the benchmark harness comes
+// from running independent engines concurrently, one per
+// configuration.
+package sim
+
+import "container/heap"
+
+// Engine is a discrete-event scheduler.  The zero value is ready to
+// use.  It is not safe for concurrent use.
+type Engine struct {
+	now    int64
+	queue  eventHeap
+	nextID uint64
+	count  uint64 // events executed
+
+	// deferred holds zero-delay work scheduled from within the
+	// current event; it runs FIFO at the same timestamp without
+	// touching the heap.
+	deferred []func()
+}
+
+type event struct {
+	at int64
+	id uint64 // tie-break: FIFO among simultaneous events
+	fn func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in byte times.
+func (e *Engine) Now() int64 { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.count }
+
+// Pending returns the number of scheduled, unexecuted events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at the absolute time t.  Scheduling in the
+// past (t < Now) panics: it would silently corrupt causality.
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	heap.Push(&e.queue, event{at: t, id: e.nextID, fn: fn})
+	e.nextID++
+}
+
+// After schedules fn to run d byte times from now.
+func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
+
+// Defer schedules fn to run at the current timestamp, after the
+// currently executing event (and previously deferred work) finishes.
+// It is the cheap path for same-instant follow-ups — no heap insert.
+func (e *Engine) Defer(fn func()) { e.deferred = append(e.deferred, fn) }
+
+// drainDeferred runs deferred work until none is left.  Deferred
+// functions may defer more work; it runs in FIFO order.
+func (e *Engine) drainDeferred() {
+	for i := 0; i < len(e.deferred); i++ {
+		e.count++
+		e.deferred[i]()
+	}
+	e.deferred = e.deferred[:0]
+}
+
+// Step executes the earliest pending work — deferred same-instant
+// functions first, then the earliest heap event — advancing the clock
+// as needed.  It reports false when nothing remains.
+func (e *Engine) Step() bool {
+	if len(e.deferred) > 0 {
+		e.drainDeferred()
+		return true
+	}
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.count++
+	ev.fn()
+	e.drainDeferred()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event lies
+// beyond the until timestamp; the clock ends at min(until, last event
+// time).  Events scheduled exactly at until are executed.
+func (e *Engine) Run(until int64) {
+	e.drainDeferred()
+	for e.queue.Len() > 0 && e.queue[0].at <= until {
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunWhile executes events while cond() holds and events remain.  The
+// condition is evaluated before every event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}

@@ -1,0 +1,229 @@
+package sl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arbtable"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{DBTS: "DBTS", DB: "DB", PBE: "PBE", BE: "BE", CH: "CH", Class(99): "Class(99)"}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestWeightForBandwidth(t *testing.T) {
+	// Full link = full table weight.
+	if w := WeightForBandwidth(LinkMbps); w != arbtable.MaxTableWeight {
+		t.Errorf("full link weight = %d, want %d", w, arbtable.MaxTableWeight)
+	}
+	// 1 Mbps on a 2000 Mbps link with 16320 total weight: 8.16 -> 9.
+	if w := WeightForBandwidth(1); w != 9 {
+		t.Errorf("1 Mbps weight = %d, want 9", w)
+	}
+	// Tiny bandwidths still reserve at least one unit.
+	if w := WeightForBandwidth(0.001); w != 1 {
+		t.Errorf("tiny bandwidth weight = %d, want 1", w)
+	}
+}
+
+func TestWeightBandwidthRoundTrip(t *testing.T) {
+	f := func(mbpsRaw uint16) bool {
+		mbps := 0.1 + float64(mbpsRaw%1000)
+		w := WeightForBandwidth(mbps)
+		// The weight must guarantee at least the requested bandwidth.
+		return BandwidthForWeight(w) >= mbps-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthForWeight(t *testing.T) {
+	if b := BandwidthForWeight(arbtable.MaxTableWeight); math.Abs(b-LinkMbps) > 1e-9 {
+		t.Errorf("full table bandwidth = %g, want %d", b, LinkMbps)
+	}
+	if b := BandwidthForWeight(0); b != 0 {
+		t.Errorf("zero weight bandwidth = %g, want 0", b)
+	}
+}
+
+func TestHopDeadline(t *testing.T) {
+	// Distance 2, 282-byte packets: 2 * (255*64 + 282) + 282 byte
+	// times; the per-entry extra packet covers whole-packet rounding
+	// and the final term non-preemptive input blocking.
+	if d := HopDeadlineByteTimes(2, 282); d != 2*(255*64+282)+282 {
+		t.Errorf("distance-2 deadline = %d, want %d", d, 2*(255*64+282)+282)
+	}
+	// The distance-proportional part dominates and scales linearly.
+	d64 := HopDeadlineByteTimes(64, 282) - 282
+	d2 := HopDeadlineByteTimes(2, 282) - 282
+	if d64 != 32*d2 {
+		t.Error("deadline not linear in distance")
+	}
+	// Larger packets loosen the bound.
+	if HopDeadlineByteTimes(8, 2074) <= HopDeadlineByteTimes(8, 282) {
+		t.Error("deadline not increasing in packet size")
+	}
+}
+
+func TestDistanceForHopDeadline(t *testing.T) {
+	const wire = 282
+	cases := []struct {
+		deadline int64
+		want     int
+	}{
+		{HopDeadlineByteTimes(64, wire), 64},
+		{HopDeadlineByteTimes(64, wire) - 1, 32},
+		{HopDeadlineByteTimes(2, wire), 2},
+		{HopDeadlineByteTimes(8, wire) + 5, 8},
+	}
+	for _, c := range cases {
+		got, err := DistanceForHopDeadline(c.deadline, wire)
+		if err != nil || got != c.want {
+			t.Errorf("DistanceForHopDeadline(%d) = %d, %v; want %d", c.deadline, got, err, c.want)
+		}
+	}
+	if _, err := DistanceForHopDeadline(10, wire); err == nil {
+		t.Error("impossible deadline accepted")
+	}
+}
+
+func TestDefaultLevelsValid(t *testing.T) {
+	if err := Validate(DefaultLevels); err != nil {
+		t.Fatal(err)
+	}
+	if len(DefaultLevels) != 10 {
+		t.Fatalf("got %d levels, want 10", len(DefaultLevels))
+	}
+	// The paper's structure: distance-32 split in 2, distance-64 in 4.
+	countByDist := map[int]int{}
+	for _, l := range DefaultLevels {
+		countByDist[l.Distance]++
+	}
+	want := map[int]int{2: 1, 4: 1, 8: 1, 16: 1, 32: 2, 64: 4}
+	for d, n := range want {
+		if countByDist[d] != n {
+			t.Errorf("distance %d has %d SLs, want %d", d, countByDist[d], n)
+		}
+	}
+	// SLs 5 and 9 carry the largest mean bandwidth (Figure 5 shape).
+	for _, l := range DefaultLevels {
+		mean := (l.MinMbps + l.MaxMbps) / 2
+		if l.SL != 5 && l.SL != 9 {
+			big := (ByIDMust(t, 5).MinMbps + ByIDMust(t, 5).MaxMbps) / 2
+			if mean >= big {
+				t.Errorf("SL %d mean bandwidth %g not below SL5's %g", l.SL, mean, big)
+			}
+		}
+	}
+}
+
+func ByIDMust(t *testing.T, id uint8) Level {
+	t.Helper()
+	l, err := ByID(DefaultLevels, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID(DefaultLevels, 77); err == nil {
+		t.Error("unknown SL accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := [][]Level{
+		{{SL: 1, Distance: 2, MinMbps: 1, MaxMbps: 2}, {SL: 1, Distance: 4, MinMbps: 1, MaxMbps: 2}}, // dup
+		{{SL: 0, Distance: 3, MinMbps: 1, MaxMbps: 2}},                                               // bad distance
+		{{SL: 0, Distance: 2, MinMbps: 2, MaxMbps: 1}},                                               // inverted range
+		{{SL: 0, Distance: 2, MinMbps: 0, MaxMbps: 1}},                                               // zero min
+		{{SL: 0, Distance: 2, MinMbps: 1, MaxMbps: 1500}},                                            // too big for one sequence
+	}
+	for i, levels := range bad {
+		if err := Validate(levels); err == nil {
+			t.Errorf("case %d: invalid levels accepted", i)
+		}
+	}
+}
+
+func TestIdentityMapping(t *testing.T) {
+	m := IdentityMapping()
+	for sl := uint8(0); sl < arbtable.NumVLs; sl++ {
+		if m.VLFor(sl) != sl {
+			t.Errorf("VLFor(%d) = %d, want %d", sl, m.VLFor(sl), sl)
+		}
+	}
+}
+
+func TestCollapsedMapping(t *testing.T) {
+	m, err := CollapsedMapping(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sl := uint8(0); sl < arbtable.NumVLs; sl++ {
+		if vl := m.VLFor(sl); vl >= 4 {
+			t.Errorf("VLFor(%d) = %d, want < 4", sl, vl)
+		}
+	}
+	// Best-effort SLs share the last data VL, away from QoS traffic.
+	for _, be := range []uint8{PBESL, BESL, CHSL} {
+		if m.VLFor(be) != 3 {
+			t.Errorf("best-effort SL %d on VL %d, want 3", be, m.VLFor(be))
+		}
+	}
+	for sl := uint8(0); sl < 10; sl++ {
+		if m.VLFor(sl) == 3 {
+			t.Errorf("QoS SL %d shares the best-effort VL", sl)
+		}
+	}
+	if _, err := CollapsedMapping(2); err == nil {
+		t.Error("collapse to 2 VLs accepted (no room for QoS + best effort)")
+	}
+	if _, err := CollapsedMapping(16); err == nil {
+		t.Error("collapse to 16 data VLs accepted (VL15 is management)")
+	}
+}
+
+func TestEffectiveDistances(t *testing.T) {
+	// Identity: every SL keeps its own distance.
+	eff := EffectiveDistances(DefaultLevels, IdentityMapping())
+	for _, l := range DefaultLevels {
+		if eff[l.SL] != l.Distance {
+			t.Errorf("identity: SL %d effective %d, want %d", l.SL, eff[l.SL], l.Distance)
+		}
+	}
+	// Collapsed to 4 data VLs: QoS SLs spread over VLs 0-2, so SL 0
+	// (distance 2) shares VL 0 with SLs 3 (16), 6 (64), 9 (64): the
+	// whole group tightens to distance 2.
+	m, err := CollapsedMapping(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff = EffectiveDistances(DefaultLevels, m)
+	for _, id := range []uint8{0, 3, 6, 9} {
+		if eff[id] != 2 {
+			t.Errorf("collapsed: SL %d effective %d, want 2", id, eff[id])
+		}
+	}
+	// Every effective distance is at most the requested one.
+	for _, l := range DefaultLevels {
+		if eff[l.SL] > l.Distance {
+			t.Errorf("SL %d effective %d looser than requested %d", l.SL, eff[l.SL], l.Distance)
+		}
+	}
+}
+
+func TestMaxReservableWeight(t *testing.T) {
+	want := int(0.8 * float64(arbtable.MaxTableWeight))
+	if MaxReservableWeight != want {
+		t.Errorf("MaxReservableWeight = %d, want %d", MaxReservableWeight, want)
+	}
+}

@@ -1,0 +1,230 @@
+// Package stats provides the measurement primitives of the evaluation:
+// deadline-relative delay distributions (Figure 4 and 6 of the paper),
+// interarrival-time jitter histograms (Figure 5), and byte meters for
+// utilization and throughput accounting (Table 2).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DelayFractions are the deadline fractions at which the delay CDF is
+// reported, matching the threshold axis of the paper's Figures 4 and 6
+// (thresholds from a small fraction of the deadline D up to D).
+var DelayFractions = []float64{1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 3.0 / 4, 1.0}
+
+// DelayCDF accumulates packet delays normalized by a per-connection
+// deadline and reports the fraction of packets below each threshold.
+type DelayCDF struct {
+	// counts[i] counts delays in bucket i: bucket 0 holds ratios
+	// <= DelayFractions[0], bucket i ratios in
+	// (DelayFractions[i-1], DelayFractions[i]], and the final bucket
+	// ratios beyond the deadline.
+	counts []int64
+	total  int64
+	sum    float64 // sum of ratios, for the mean
+	max    float64
+}
+
+// NewDelayCDF returns an empty delay distribution.
+func NewDelayCDF() *DelayCDF {
+	return &DelayCDF{counts: make([]int64, len(DelayFractions)+1)}
+}
+
+// Add records one packet whose delay is the given fraction of its
+// deadline (delay/deadline).
+func (d *DelayCDF) Add(ratio float64) {
+	i := 0
+	for i < len(DelayFractions) && ratio > DelayFractions[i] {
+		i++
+	}
+	d.counts[i]++
+	d.total++
+	d.sum += ratio
+	if ratio > d.max {
+		d.max = ratio
+	}
+}
+
+// Total returns the number of recorded packets.
+func (d *DelayCDF) Total() int64 { return d.total }
+
+// PercentBelow returns the percentage of packets whose delay ratio is
+// at or below the threshold with the given index into DelayFractions.
+func (d *DelayCDF) PercentBelow(i int) float64 {
+	if d.total == 0 {
+		return 0
+	}
+	var c int64
+	for k := 0; k <= i; k++ {
+		c += d.counts[k]
+	}
+	return 100 * float64(c) / float64(d.total)
+}
+
+// PercentMeetingDeadline returns the percentage of packets delivered
+// at or before their deadline.
+func (d *DelayCDF) PercentMeetingDeadline() float64 {
+	return d.PercentBelow(len(DelayFractions) - 1)
+}
+
+// MeanRatio returns the mean delay/deadline ratio.
+func (d *DelayCDF) MeanRatio() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return d.sum / float64(d.total)
+}
+
+// MaxRatio returns the largest observed delay/deadline ratio.
+func (d *DelayCDF) MaxRatio() float64 { return d.max }
+
+// Merge adds the contents of other into d.
+func (d *DelayCDF) Merge(other *DelayCDF) {
+	for i := range d.counts {
+		d.counts[i] += other.counts[i]
+	}
+	d.total += other.total
+	d.sum += other.sum
+	if other.max > d.max {
+		d.max = other.max
+	}
+}
+
+// JitterEdges are the interval boundaries of the jitter histogram in
+// units of the nominal interarrival time (IAT), matching the x axis of
+// the paper's Figure 5.  Deviations below -IAT or above +IAT land in
+// the open tail buckets.
+var JitterEdges = []float64{-1, -3.0 / 4, -1.0 / 2, -1.0 / 4, -1.0 / 8, 1.0 / 8, 1.0 / 4, 1.0 / 2, 3.0 / 4, 1}
+
+// JitterBuckets is the number of histogram buckets (len(JitterEdges)+1).
+const JitterBuckets = 11
+
+// JitterLabels name the buckets for reporting.
+var JitterLabels = []string{
+	"<-IAT", "[-IAT,-3IAT/4)", "[-3IAT/4,-IAT/2)", "[-IAT/2,-IAT/4)", "[-IAT/4,-IAT/8)",
+	"[-IAT/8,+IAT/8)", "[+IAT/8,+IAT/4)", "[+IAT/4,+IAT/2)", "[+IAT/2,+3IAT/4)", "[+3IAT/4,+IAT)",
+	">=+IAT",
+}
+
+// JitterHist accumulates interarrival deviations relative to the
+// nominal IAT: a packet arriving dt after its predecessor contributes
+// the deviation (dt - IAT) / IAT.
+type JitterHist struct {
+	counts [JitterBuckets]int64
+	total  int64
+}
+
+// Add records one interarrival deviation, already normalized by the
+// IAT (e.g. 0 means exactly on schedule, -0.5 means half an IAT early).
+func (j *JitterHist) Add(norm float64) {
+	i := 0
+	for i < len(JitterEdges) && norm >= JitterEdges[i] {
+		i++
+	}
+	j.counts[i]++
+	j.total++
+}
+
+// Total returns the number of recorded deviations.
+func (j *JitterHist) Total() int64 { return j.total }
+
+// Percent returns the percentage of deviations in bucket i.
+func (j *JitterHist) Percent(i int) float64 {
+	if j.total == 0 {
+		return 0
+	}
+	return 100 * float64(j.counts[i]) / float64(j.total)
+}
+
+// CentralPercent returns the percentage of deviations within
+// (-IAT/8, +IAT/8), the central interval the paper reports most
+// packets falling into.
+func (j *JitterHist) CentralPercent() float64 { return j.Percent(5) }
+
+// WithinIATPercent returns the percentage of deviations strictly
+// inside (-IAT, +IAT); the paper observes jitter never exceeding the
+// IAT for any service level.
+func (j *JitterHist) WithinIATPercent() float64 {
+	if j.total == 0 {
+		return 0
+	}
+	var c int64
+	for i := 1; i < JitterBuckets-1; i++ {
+		c += j.counts[i]
+	}
+	return 100 * float64(c) / float64(j.total)
+}
+
+// Merge adds the contents of other into j.
+func (j *JitterHist) Merge(other *JitterHist) {
+	for i := range j.counts {
+		j.counts[i] += other.counts[i]
+	}
+	j.total += other.total
+}
+
+// Meter counts bytes crossing a measurement point, with the simulation
+// interval supplied at reading time.
+type Meter struct {
+	Bytes   int64
+	Packets int64
+}
+
+// Add records one packet of the given wire size.
+func (m *Meter) Add(bytes int) {
+	m.Bytes += int64(bytes)
+	m.Packets++
+}
+
+// Utilization returns the fraction of link capacity used over an
+// interval of the given length in byte times (a 1x link carries one
+// byte per byte time, so utilization is bytes/elapsed).
+func (m *Meter) Utilization(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / float64(elapsed)
+}
+
+// Accum is a simple running accumulator for scalar observations.
+type Accum struct {
+	N        int64
+	Sum      float64
+	Min, Max float64
+}
+
+// Add records one observation.
+func (a *Accum) Add(v float64) {
+	if a.N == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.N == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.N++
+	a.Sum += v
+}
+
+// Mean returns the mean of the observations (0 when empty).
+func (a *Accum) Mean() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.N)
+}
+
+// String implements fmt.Stringer.
+func (a *Accum) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g", a.N, a.Mean(), a.Min, a.Max)
+}
+
+// NearlyEqual reports whether two floats agree within tol, treating
+// NaNs as never equal.  Shared helper for experiment code and tests.
+func NearlyEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,342 @@
+// Package subnet models the InfiniBand control plane that deploys the
+// paper's proposal: the subnet manager (SM) that discovers the fabric,
+// assigns local identifiers, programs the forwarding tables, and
+// distributes the SLtoVL mappings and VL arbitration tables to every
+// port.  The paper assumes this machinery ("the number of VLs used by
+// a port is configured by the subnet manager", section 2.1); this
+// package makes its cost explicit and handles the reconfiguration a
+// link failure forces — the fault-tolerance story InfiniBand's
+// disaggregated architecture is sold on in the paper's introduction.
+//
+// Costs are accounted in subnet management packets (SMPs, one MAD
+// each): real SMs are bounded by MAD round trips, so the counts are
+// the architecture-level metric.  Each MAD round trip is also assigned
+// a latency from the path length so a total (re)configuration time can
+// be reported on the simulator's byte-time clock.
+package subnet
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/arbtable"
+	"repro/internal/mad"
+	"repro/internal/routing"
+	"repro/internal/sl"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// MAD cost model: a subnet management packet is one 256-byte MAD; a
+// round trip crosses the path twice with per-hop forwarding latency.
+const (
+	madWireBytes = 256 + sl.HeaderBytes
+	hopLatencyBT = 20 // same forwarding latency the fabric uses
+	lidsPerBlock = 64 // LinearForwardingTable block size (IBA 1.0)
+)
+
+// Costs accumulates control-plane effort.
+type Costs struct {
+	MADs        int
+	TimeBT      int64 // total serialized MAD round-trip time, byte times
+	Devices     int
+	SwitchPorts int
+}
+
+// addMAD accounts one SMP round trip to a device at the given hop
+// distance from the subnet manager.
+func (c *Costs) addMAD(hops int) {
+	c.MADs++
+	c.TimeBT += 2 * int64(hops) * (madWireBytes + hopLatencyBT)
+}
+
+// Manager is the subnet manager: it owns the control-plane view of one
+// fabric.
+type Manager struct {
+	Topo   *topology.Topology
+	Routes *routing.Routes
+	// HomeSwitch is the switch the SM's host hangs off (host 0).
+	HomeSwitch int
+
+	// lids[i] is the LID assigned to switch i (hosts use
+	// NumSwitches+host).  Exposed for inspection.
+	lids []int
+}
+
+// NewManager returns a manager for the fabric; Discover must run
+// before the programming phases.
+func NewManager(topo *topology.Topology) *Manager {
+	return &Manager{Topo: topo, HomeSwitch: 0}
+}
+
+// hopsTo returns the SM's hop distance to a switch (BFS level metric
+// over the current routes).
+func (m *Manager) hopsTo(sw int) int {
+	if m.Routes == nil {
+		return 1
+	}
+	// Use the routed path from the SM's host to any host on sw.
+	path, err := m.Routes.PathSwitches(0, m.Topo.HostAt(sw, 0))
+	if err != nil {
+		return m.Topo.NumSwitches
+	}
+	return len(path)
+}
+
+// Discover sweeps the fabric like a real SM: starting from the home
+// switch it walks every device breadth first, reading node and port
+// state (one MAD per device plus one per active switch port), then
+// assigns LIDs and computes up*/down* routes.
+func (m *Manager) Discover() (Costs, error) {
+	var c Costs
+	if !m.Topo.Connected() {
+		return c, fmt.Errorf("subnet: fabric is not connected")
+	}
+
+	// Sweep: BFS from the home switch.  During discovery routes do not
+	// exist yet; direct-routed SMPs walk the BFS path, so the hop cost
+	// is the BFS depth.
+	// The sweep builds and parses byte-exact MADs: what a device
+	// "answers" is an encoded attribute that the SM decodes, so the
+	// control-plane state provably survives the wire format.
+	probeNode := func(info mad.NodeInfo, depth int) error {
+		c.Devices++
+		c.addMAD(depth)
+		got, err := mad.DecodeNodeInfo(mad.EncodeNodeInfo(info))
+		if err != nil {
+			return err
+		}
+		if got != info {
+			return fmt.Errorf("subnet: NodeInfo corrupted on the wire: %+v != %+v", got, info)
+		}
+		return nil
+	}
+	probePort := func(info mad.PortInfo, depth int) error {
+		c.addMAD(depth)
+		got, err := mad.DecodePortInfo(mad.EncodePortInfo(info))
+		if err != nil {
+			return err
+		}
+		if got != info {
+			return fmt.Errorf("subnet: PortInfo corrupted on the wire: %+v != %+v", got, info)
+		}
+		return nil
+	}
+
+	type item struct{ sw, depth int }
+	seen := make([]bool, m.Topo.NumSwitches)
+	queue := []item{{m.HomeSwitch, 1}}
+	seen[m.HomeSwitch] = true
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if err := probeNode(mad.NodeInfo{
+			NodeType: mad.NodeTypeSwitch, NumPorts: topology.SwitchPorts,
+			GUID: uint64(it.sw) + 1, LID: uint16(it.sw) + 1,
+		}, it.depth); err != nil {
+			return c, err
+		}
+		for _, nb := range m.Topo.Neighbors(it.sw) {
+			c.SwitchPorts++
+			if err := probePort(mad.PortInfo{
+				LID: uint16(it.sw) + 1, PortState: mad.PortStateActive,
+				NeighborMTU: mad.MTUCode(4096), VLCap: 15, OperationalVLs: 15,
+			}, it.depth); err != nil {
+				return c, err
+			}
+			_ = nb
+		}
+		for _, nb := range m.Topo.Neighbors(it.sw) {
+			if !seen[nb.Switch] {
+				seen[nb.Switch] = true
+				queue = append(queue, item{nb.Switch, it.depth + 1})
+			}
+		}
+	}
+	// Hosts: one NodeInfo + PortInfo each.
+	for h := 0; h < m.Topo.NumHosts(); h++ {
+		sw, _ := m.Topo.HostSwitch(h)
+		depth := 1 + bfsDepth(m.Topo, m.HomeSwitch, sw)
+		if err := probeNode(mad.NodeInfo{
+			NodeType: mad.NodeTypeCA, NumPorts: 1,
+			GUID: uint64(m.Topo.NumSwitches + h + 1), LID: uint16(m.Topo.NumSwitches + h + 1),
+		}, depth); err != nil {
+			return c, err
+		}
+		if err := probePort(mad.PortInfo{
+			LID: uint16(m.Topo.NumSwitches + h + 1), PortState: mad.PortStateActive,
+			NeighborMTU: mad.MTUCode(4096), VLCap: 15, OperationalVLs: 15,
+		}, depth); err != nil {
+			return c, err
+		}
+	}
+
+	// LID assignment is bookkeeping on the SM; the set is written with
+	// the PortInfo MADs already counted.
+	m.lids = make([]int, m.Topo.NumSwitches)
+	for i := range m.lids {
+		m.lids[i] = i + 1
+	}
+
+	routes, err := routing.Compute(m.Topo)
+	if err != nil {
+		return c, err
+	}
+	m.Routes = routes
+	return c, nil
+}
+
+// bfsDepth returns the unweighted distance between two switches.
+func bfsDepth(t *topology.Topology, from, to int) int {
+	if from == to {
+		return 0
+	}
+	depth := make([]int, t.NumSwitches)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[from] = 0
+	queue := []int{from}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, nb := range t.Neighbors(s) {
+			if depth[nb.Switch] < 0 {
+				depth[nb.Switch] = depth[s] + 1
+				if nb.Switch == to {
+					return depth[nb.Switch]
+				}
+				queue = append(queue, nb.Switch)
+			}
+		}
+	}
+	return t.NumSwitches
+}
+
+// ProgramForwarding distributes the linear forwarding tables: each
+// switch needs one MAD per block of 64 destination LIDs.
+func (m *Manager) ProgramForwarding() (Costs, error) {
+	var c Costs
+	if m.Routes == nil {
+		return c, fmt.Errorf("subnet: discover before programming")
+	}
+	destinations := m.Topo.NumSwitches + m.Topo.NumHosts()
+	blocks := (destinations + lidsPerBlock - 1) / lidsPerBlock
+	for s := 0; s < m.Topo.NumSwitches; s++ {
+		for b := 0; b < blocks; b++ {
+			c.addMAD(m.hopsTo(s))
+		}
+	}
+	return c, nil
+}
+
+// ProgramQoS distributes the QoS state the paper's proposal needs: per
+// switch port and per host interface, one Set(SLtoVLMappingTable) SMP
+// and two Set(VLArbitrationTable) SMPs (the 64-entry high-priority
+// table travels in two blocks of 32 entries).  The SMPs are built with
+// the real wire encodings from the mad package, so what this function
+// "sends" is byte-exact management traffic.
+func (m *Manager) ProgramQoS(ports *admission.Ports, mapping sl.Mapping) (Costs, error) {
+	var c Costs
+	if m.Routes == nil {
+		return c, fmt.Errorf("subnet: discover before programming")
+	}
+	var tid uint64 = 1
+	program := func(table *arbtable.Table, hops int) error {
+		slvl := &mad.Packet{
+			Header: mad.Header{
+				BaseVersion: 1, MgmtClass: mad.ClassSubnLID, ClassVersion: 1,
+				Method: mad.MethodSet, TID: tid, AttrID: mad.AttrSLtoVLMapping,
+			},
+			Data: mad.EncodeSLtoVL(mapping),
+		}
+		tid++
+		if _, err := slvl.Marshal(); err != nil {
+			return err
+		}
+		c.addMAD(hops)
+		pkts, err := mad.HighTableSMPs(tid, table)
+		if err != nil {
+			return err
+		}
+		tid += uint64(len(pkts))
+		for _, p := range pkts {
+			if _, err := p.Marshal(); err != nil {
+				return err
+			}
+			c.addMAD(hops)
+		}
+		return nil
+	}
+	for s := 0; s < m.Topo.NumSwitches; s++ {
+		for p := 0; p < topology.SwitchPorts; p++ {
+			if p >= topology.HostsPerSwitch && m.Topo.Peer(s, p).Switch < 0 {
+				continue // unwired port
+			}
+			if err := program(ports.Switch[s][p].Allocator().Table(), m.hopsTo(s)); err != nil {
+				return c, err
+			}
+		}
+	}
+	for h := 0; h < m.Topo.NumHosts(); h++ {
+		sw, _ := m.Topo.HostSwitch(h)
+		hops := 1 + bfsDepth(m.Topo, m.HomeSwitch, sw)
+		if err := program(ports.Host[h].Allocator().Table(), hops); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// ReconfigureResult describes a link-failure recovery.
+type ReconfigureResult struct {
+	Sweep      Costs
+	Forwarding Costs
+	QoS        Costs
+
+	// Connection recovery over the new routes.
+	Reestablished int
+	Lost          int
+}
+
+// HandleLinkFailure models the full recovery story: the topology loses
+// a link, the SM re-sweeps and re-programs the fabric, and every live
+// connection is re-admitted over the new routes into fresh arbitration
+// tables (the paper's admission machinery runs unchanged).  It returns
+// the new controller holding the surviving connections.
+//
+// Connections whose new paths no longer have capacity are lost — the
+// price of a failure on a loaded network.
+func HandleLinkFailure(topo *topology.Topology, failSwitch, failPort int, live []traffic.Request, limit uint8) (*ReconfigureResult, *admission.Controller, error) {
+	after := topo.Clone()
+	if err := after.RemoveLink(failSwitch, failPort); err != nil {
+		return nil, nil, err
+	}
+	if !after.Connected() {
+		return nil, nil, fmt.Errorf("subnet: link %d:%d was a cut edge; fabric partitioned", failSwitch, failPort)
+	}
+
+	m := NewManager(after)
+	res := &ReconfigureResult{}
+	var err error
+	if res.Sweep, err = m.Discover(); err != nil {
+		return nil, nil, err
+	}
+	if res.Forwarding, err = m.ProgramForwarding(); err != nil {
+		return nil, nil, err
+	}
+	ports := admission.NewPorts(after, limit)
+	if res.QoS, err = m.ProgramQoS(ports, sl.IdentityMapping()); err != nil {
+		return nil, nil, err
+	}
+
+	ctrl := admission.NewController(after, m.Routes, sl.IdentityMapping(), ports)
+	for _, req := range live {
+		if _, err := ctrl.Admit(req); err != nil {
+			res.Lost++
+			continue
+		}
+		res.Reestablished++
+	}
+	return res, ctrl, nil
+}

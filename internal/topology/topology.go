@@ -1,0 +1,255 @@
+// Package topology generates the irregular switch networks used in the
+// paper's evaluation (section 4.1): randomly wired networks of 8-port
+// switches, four ports with a host attached and four used for links
+// between switches.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+const (
+	// SwitchPorts is the number of ports per switch.
+	SwitchPorts = 8
+	// HostsPerSwitch is the number of host ports per switch; host
+	// ports are ports 0..HostsPerSwitch-1.
+	HostsPerSwitch = 4
+	// InterPorts is the number of ports used for switch-to-switch
+	// links: ports HostsPerSwitch..SwitchPorts-1.
+	InterPorts = SwitchPorts - HostsPerSwitch
+)
+
+// End identifies one side of a switch-to-switch link.
+type End struct {
+	Switch int
+	Port   int
+}
+
+// Topology is an irregular network of switches with hosts attached.
+// Host h is connected to port h % HostsPerSwitch of switch
+// h / HostsPerSwitch.
+type Topology struct {
+	NumSwitches int
+	// peer[s][p] is the far end of the link on switch s port p, valid
+	// for inter-switch ports only; Switch == -1 means the port is
+	// unused.
+	peer [][SwitchPorts]End
+}
+
+// NumHosts returns the number of hosts in the network.
+func (t *Topology) NumHosts() int { return t.NumSwitches * HostsPerSwitch }
+
+// HostSwitch returns the switch and port a host is attached to.
+func (t *Topology) HostSwitch(host int) (sw, port int) {
+	return host / HostsPerSwitch, host % HostsPerSwitch
+}
+
+// HostAt returns the host attached to the given switch port, or -1 if
+// the port is an inter-switch port.
+func (t *Topology) HostAt(sw, port int) int {
+	if port >= HostsPerSwitch {
+		return -1
+	}
+	return sw*HostsPerSwitch + port
+}
+
+// Peer returns the far end of an inter-switch port.  The returned
+// End has Switch == -1 when the port is unconnected or a host port.
+func (t *Topology) Peer(sw, port int) End {
+	if port < HostsPerSwitch || port >= SwitchPorts {
+		return End{Switch: -1, Port: -1}
+	}
+	return t.peer[sw][port]
+}
+
+// Neighbors returns, for each connected inter-switch port of sw in
+// ascending port order, the neighboring switch.
+func (t *Topology) Neighbors(sw int) []End {
+	var out []End
+	for p := HostsPerSwitch; p < SwitchPorts; p++ {
+		if e := t.peer[sw][p]; e.Switch >= 0 {
+			out = append(out, End{Switch: e.Switch, Port: p})
+		}
+	}
+	return out
+}
+
+// connect wires switch a port pa to switch b port pb.
+func (t *Topology) connect(a, pa, b, pb int) {
+	t.peer[a][pa] = End{Switch: b, Port: pb}
+	t.peer[b][pb] = End{Switch: a, Port: pa}
+}
+
+// freePort returns the lowest unused inter-switch port of sw, or -1.
+func (t *Topology) freePort(sw int) int {
+	for p := HostsPerSwitch; p < SwitchPorts; p++ {
+		if t.peer[sw][p].Switch < 0 {
+			return p
+		}
+	}
+	return -1
+}
+
+// linked reports whether switches a and b are directly connected.
+func (t *Topology) linked(a, b int) bool {
+	for p := HostsPerSwitch; p < SwitchPorts; p++ {
+		if t.peer[a][p].Switch == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate builds a random irregular topology with the given number of
+// switches, reproducibly from the seed.  The construction first wires
+// a random spanning tree (guaranteeing connectivity) and then adds
+// random extra links between switches with free ports, avoiding
+// duplicate links and self-links.
+func Generate(numSwitches int, seed int64) (*Topology, error) {
+	if numSwitches < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 switches, got %d", numSwitches)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &Topology{
+		NumSwitches: numSwitches,
+		peer:        make([][SwitchPorts]End, numSwitches),
+	}
+	for s := range t.peer {
+		for p := range t.peer[s] {
+			t.peer[s][p] = End{Switch: -1, Port: -1}
+		}
+	}
+
+	// Random spanning tree: attach each switch (in random order) to a
+	// random already-attached switch with a free port.
+	order := rng.Perm(numSwitches)
+	attached := []int{order[0]}
+	for _, s := range order[1:] {
+		// Collect attached switches with free ports.
+		var candidates []int
+		for _, a := range attached {
+			if t.freePort(a) >= 0 {
+				candidates = append(candidates, a)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("topology: no free ports while building spanning tree (seed %d)", seed)
+		}
+		a := candidates[rng.Intn(len(candidates))]
+		t.connect(s, t.freePort(s), a, t.freePort(a))
+		attached = append(attached, s)
+	}
+
+	// Extra random links until no legal pair remains.
+	for tries := 0; tries < numSwitches*InterPorts*10; tries++ {
+		var free []int
+		for s := 0; s < numSwitches; s++ {
+			if t.freePort(s) >= 0 {
+				free = append(free, s)
+			}
+		}
+		if len(free) < 2 {
+			break
+		}
+		a := free[rng.Intn(len(free))]
+		b := free[rng.Intn(len(free))]
+		if a == b || t.linked(a, b) {
+			continue
+		}
+		t.connect(a, t.freePort(a), b, t.freePort(b))
+	}
+	return t, nil
+}
+
+// Validate checks structural consistency: links are symmetric and no
+// port is double-booked.
+func (t *Topology) Validate() error {
+	for s := 0; s < t.NumSwitches; s++ {
+		for p := HostsPerSwitch; p < SwitchPorts; p++ {
+			e := t.peer[s][p]
+			if e.Switch < 0 {
+				continue
+			}
+			if e.Switch >= t.NumSwitches || e.Port < HostsPerSwitch || e.Port >= SwitchPorts {
+				return fmt.Errorf("topology: switch %d port %d points to invalid end %+v", s, p, e)
+			}
+			back := t.peer[e.Switch][e.Port]
+			if back.Switch != s || back.Port != p {
+				return fmt.Errorf("topology: asymmetric link %d:%d <-> %d:%d", s, p, e.Switch, e.Port)
+			}
+			if e.Switch == s {
+				return fmt.Errorf("topology: self-link on switch %d", s)
+			}
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the switch graph is connected.
+func (t *Topology) Connected() bool {
+	if t.NumSwitches == 0 {
+		return false
+	}
+	seen := make([]bool, t.NumSwitches)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, n := range t.Neighbors(s) {
+			if !seen[n.Switch] {
+				seen[n.Switch] = true
+				count++
+				queue = append(queue, n.Switch)
+			}
+		}
+	}
+	return count == t.NumSwitches
+}
+
+// Link is one undirected inter-switch link.
+type Link struct {
+	A, B End // A.Switch < B.Switch
+}
+
+// Links returns every inter-switch link exactly once, ordered by
+// (A.Switch, A.Port).
+func (t *Topology) Links() []Link {
+	var out []Link
+	for s := 0; s < t.NumSwitches; s++ {
+		for p := HostsPerSwitch; p < SwitchPorts; p++ {
+			e := t.peer[s][p]
+			if e.Switch > s || (e.Switch == s && e.Port > p) {
+				out = append(out, Link{A: End{Switch: s, Port: p}, B: e})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the topology.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		NumSwitches: t.NumSwitches,
+		peer:        make([][SwitchPorts]End, t.NumSwitches),
+	}
+	copy(c.peer, t.peer)
+	return c
+}
+
+// RemoveLink disconnects the inter-switch link attached to switch sw's
+// port, modeling a link failure.  Both ends become unused ports.
+func (t *Topology) RemoveLink(sw, port int) error {
+	if sw < 0 || sw >= t.NumSwitches || port < HostsPerSwitch || port >= SwitchPorts {
+		return fmt.Errorf("topology: no inter-switch port %d:%d", sw, port)
+	}
+	e := t.peer[sw][port]
+	if e.Switch < 0 {
+		return fmt.Errorf("topology: port %d:%d is not connected", sw, port)
+	}
+	t.peer[sw][port] = End{Switch: -1, Port: -1}
+	t.peer[e.Switch][e.Port] = End{Switch: -1, Port: -1}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package traffic describes the workloads of the evaluation: CBR
+// connections drawn from the service-level table (paper section 4.2)
+// and best-effort background flows served by the low-priority table.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sl"
+)
+
+// Request is a connection establishment request as issued by a host:
+// endpoints, service level and the mean bandwidth it wants guaranteed.
+type Request struct {
+	Src, Dst int // host indices
+	Level    sl.Level
+	Mbps     float64
+}
+
+// Validate checks a request is self-consistent.
+func (r Request) Validate(numHosts int) error {
+	if r.Src < 0 || r.Src >= numHosts || r.Dst < 0 || r.Dst >= numHosts {
+		return fmt.Errorf("traffic: endpoints (%d,%d) outside [0,%d)", r.Src, r.Dst, numHosts)
+	}
+	if r.Src == r.Dst {
+		return fmt.Errorf("traffic: source and destination are both host %d", r.Src)
+	}
+	if r.Mbps < r.Level.MinMbps || r.Mbps > r.Level.MaxMbps {
+		return fmt.Errorf("traffic: bandwidth %g outside SL %d range [%g,%g]",
+			r.Mbps, r.Level.SL, r.Level.MinMbps, r.Level.MaxMbps)
+	}
+	return nil
+}
+
+// IATByteTimes returns the nominal packet interarrival time of a CBR
+// connection sending payload-byte packets at the given mean bandwidth:
+// at full link rate the payload would take payload byte times, so at a
+// fraction mbps/LinkMbps of the link the spacing stretches accordingly.
+func IATByteTimes(payloadBytes int, mbps float64) int64 {
+	return int64(float64(payloadBytes) * float64(sl.LinkMbps) / mbps)
+}
+
+// Source generates the random connection requests of the evaluation:
+// service levels are visited round-robin and each request draws random
+// endpoints and a random mean bandwidth uniform in the level's range.
+type Source struct {
+	rng      *rand.Rand
+	levels   []sl.Level
+	numHosts int
+	next     int // round-robin cursor over levels
+}
+
+// NewSource returns a request source over the given levels and host
+// count, reproducible from the seed.
+func NewSource(levels []sl.Level, numHosts int, seed int64) *Source {
+	return &Source{
+		rng:      rand.New(rand.NewSource(seed)),
+		levels:   levels,
+		numHosts: numHosts,
+	}
+}
+
+// Next produces the next random request.
+func (s *Source) Next() Request {
+	lv := s.levels[s.next%len(s.levels)]
+	s.next++
+	src := s.rng.Intn(s.numHosts)
+	dst := s.rng.Intn(s.numHosts - 1)
+	if dst >= src {
+		dst++
+	}
+	mbps := lv.MinMbps + s.rng.Float64()*(lv.MaxMbps-lv.MinMbps)
+	return Request{Src: src, Dst: dst, Level: lv, Mbps: mbps}
+}
+
+// BestEffort describes one background best-effort flow: a host pair
+// and an offered load.  Best-effort traffic is not admitted — it is
+// served by the low-priority table from whatever bandwidth the
+// reservation cap leaves over.
+type BestEffort struct {
+	Src, Dst int
+	SL       uint8 // sl.PBESL, sl.BESL or sl.CHSL
+	Mbps     float64
+}
+
+// BestEffortBackground builds the background traffic of the
+// evaluation: per host, one flow of each best-effort class to a random
+// distinct destination, splitting the offered per-host load across the
+// extended classification of the paper — preferential best effort
+// (web / database accesses), plain best effort (mail, ftp) and
+// challenged traffic.  The evaluation reserves 20 % of each link for
+// these classes combined, served from the low-priority table.
+func BestEffortBackground(numHosts int, perHostMbps float64, seed int64) []BestEffort {
+	rng := rand.New(rand.NewSource(seed))
+	var out []BestEffort
+	for src := 0; src < numHosts; src++ {
+		dst := rng.Intn(numHosts - 1)
+		if dst >= src {
+			dst++
+		}
+		out = append(out,
+			BestEffort{Src: src, Dst: dst, SL: sl.PBESL, Mbps: perHostMbps * 0.40},
+			BestEffort{Src: src, Dst: dst, SL: sl.BESL, Mbps: perHostMbps * 0.40},
+			BestEffort{Src: src, Dst: dst, SL: sl.CHSL, Mbps: perHostMbps * 0.20},
+		)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/sl"
+)
+
+func TestRequestValidate(t *testing.T) {
+	lv := sl.DefaultLevels[0] // distance 2, [0.5, 1] Mbps
+	ok := Request{Src: 0, Dst: 1, Level: lv, Mbps: 0.7}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	bad := []Request{
+		{Src: 0, Dst: 0, Level: lv, Mbps: 0.7},  // self
+		{Src: -1, Dst: 1, Level: lv, Mbps: 0.7}, // negative
+		{Src: 0, Dst: 9, Level: lv, Mbps: 0.7},  // out of range
+		{Src: 0, Dst: 1, Level: lv, Mbps: 0.1},  // below range
+		{Src: 0, Dst: 1, Level: lv, Mbps: 2},    // above range
+	}
+	for i, r := range bad {
+		if err := r.Validate(4); err == nil {
+			t.Errorf("bad request %d accepted", i)
+		}
+	}
+}
+
+func TestIATByteTimes(t *testing.T) {
+	// At full link rate, packets are back to back: IAT = payload time.
+	if iat := IATByteTimes(256, sl.LinkMbps); iat != 256 {
+		t.Errorf("full-rate IAT = %d, want 256", iat)
+	}
+	// At 1 Mbps a 256-byte packet is sent every 256*2000 byte times.
+	if iat := IATByteTimes(256, 1); iat != 256*2000 {
+		t.Errorf("1 Mbps IAT = %d, want %d", iat, 256*2000)
+	}
+	// Doubling bandwidth halves the IAT.
+	if 2*IATByteTimes(512, 8) != IATByteTimes(512, 4) {
+		t.Error("IAT not inversely proportional to bandwidth")
+	}
+}
+
+func TestSourceProducesValidRequests(t *testing.T) {
+	s := NewSource(sl.DefaultLevels, 64, 1)
+	for i := 0; i < 500; i++ {
+		r := s.Next()
+		if err := r.Validate(64); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestSourceRoundRobinOverLevels(t *testing.T) {
+	s := NewSource(sl.DefaultLevels, 16, 2)
+	for i := 0; i < 30; i++ {
+		r := s.Next()
+		want := sl.DefaultLevels[i%len(sl.DefaultLevels)].SL
+		if r.Level.SL != want {
+			t.Fatalf("request %d from SL %d, want %d", i, r.Level.SL, want)
+		}
+	}
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	a := NewSource(sl.DefaultLevels, 32, 99)
+	b := NewSource(sl.DefaultLevels, 32, 99)
+	for i := 0; i < 50; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different requests")
+		}
+	}
+}
+
+func TestBestEffortBackground(t *testing.T) {
+	flows := BestEffortBackground(8, 100, 5)
+	if len(flows) != 24 { // PBE + BE + CH per host
+		t.Fatalf("flows = %d, want 24", len(flows))
+	}
+	perHost := map[int]float64{}
+	classes := map[uint8]int{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Errorf("self flow at host %d", f.Src)
+		}
+		if f.SL != sl.PBESL && f.SL != sl.BESL && f.SL != sl.CHSL {
+			t.Errorf("unexpected SL %d", f.SL)
+		}
+		classes[f.SL]++
+		perHost[f.Src] += f.Mbps
+	}
+	for _, slv := range []uint8{sl.PBESL, sl.BESL, sl.CHSL} {
+		if classes[slv] != 8 {
+			t.Errorf("SL %d has %d flows, want 8", slv, classes[slv])
+		}
+	}
+	for h, load := range perHost {
+		if load != 100 {
+			t.Errorf("host %d offered %g Mbps, want 100", h, load)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package transport implements message-level communication over the
+// simulated fabric: segmentation of application messages into
+// MTU-sized packets at the source and reassembly at the destination.
+//
+// The paper notes (section 2) that applications wanting QoS use IBA's
+// reliable-connection service; on a lossless, deterministic fabric the
+// data path of that service reduces to segmentation and reassembly
+// with in-order delivery, which is what this package models.  Message
+// latency — from Send to the arrival of the last segment — is the
+// application-visible metric the per-packet guarantees compose into.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// maxSegments bounds the segments of one message; the tag encoding
+// reserves 20 bits for the segment index.
+const maxSegments = 1 << 20
+
+// Message is one application message in flight or delivered.
+type Message struct {
+	ID       int64
+	Flow     *fabric.Flow
+	Size     int // payload bytes
+	Segments int
+
+	SentAt      int64
+	CompletedAt int64 // zero until fully reassembled
+
+	received int
+	nextSeq  int64 // next expected segment (in-order check)
+	Dropped  int   // segments refused at the source queue
+}
+
+// Latency returns the message's completion latency in byte times, or
+// -1 while in flight.
+func (m *Message) Latency() int64 {
+	if m.CompletedAt == 0 {
+		return -1
+	}
+	return m.CompletedAt - m.SentAt
+}
+
+// Messenger sends and reassembles messages on one fabric.  It installs
+// itself as the network's delivery observer; create it before Start
+// and keep a single Messenger per network (it chains any observer
+// installed before it).
+type Messenger struct {
+	net      *fabric.Network
+	payload  int
+	nextID   int64
+	inflight map[int64]*Message
+
+	completed []*Message
+	// OutOfOrder counts segments arriving out of sequence; on this
+	// deterministic single-path fabric it must stay zero.
+	OutOfOrder int64
+}
+
+// NewMessenger returns a Messenger over the network and hooks message
+// reassembly into packet delivery.
+func NewMessenger(net *fabric.Network) *Messenger {
+	m := &Messenger{
+		net:      net,
+		payload:  net.Cfg.PayloadBytes,
+		nextID:   1,
+		inflight: make(map[int64]*Message),
+	}
+	prev := net.OnDeliver
+	net.OnDeliver = func(pkt *fabric.Packet) {
+		if prev != nil {
+			prev(pkt)
+		}
+		m.onDeliver(pkt)
+	}
+	return m
+}
+
+// Send segments a message of size payload bytes onto the flow's
+// virtual lane.  All segments are enqueued immediately (the host
+// channel adapter paces them out under its arbitration table), so a
+// large message is a burst — exactly how a reliable-connection send
+// behaves.  Segments refused by a full source queue are counted in
+// Message.Dropped; such a message never completes.
+func (m *Messenger) Send(f *fabric.Flow, size int) (*Message, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("transport: message size %d", size)
+	}
+	segments := (size + m.payload - 1) / m.payload
+	if segments >= maxSegments {
+		return nil, fmt.Errorf("transport: message needs %d segments, max %d", segments, maxSegments-1)
+	}
+	msg := &Message{
+		ID: m.nextID, Flow: f, Size: size, Segments: segments,
+		SentAt: m.net.Engine.Now(),
+	}
+	m.nextID++
+	m.inflight[msg.ID] = msg
+
+	remaining := size
+	for seq := 0; seq < segments; seq++ {
+		payload := m.payload
+		if remaining < payload {
+			payload = remaining
+		}
+		remaining -= payload
+		if !m.net.InjectPacket(f, payload, encodeTag(msg.ID, seq)) {
+			msg.Dropped++
+		}
+	}
+	return msg, nil
+}
+
+// Stream sends a message of the given size every interval byte times
+// until the network's generation is stopped, modeling a request stream
+// over one connection.
+func (m *Messenger) Stream(f *fabric.Flow, size int, interval int64) {
+	var tick func()
+	tick = func() {
+		if _, err := m.Send(f, size); err != nil {
+			return
+		}
+		m.net.Engine.After(interval, tick)
+	}
+	m.net.Engine.At(m.net.Engine.Now(), tick)
+}
+
+// onDeliver consumes a delivered packet, advancing its message's
+// reassembly state.
+func (m *Messenger) onDeliver(pkt *fabric.Packet) {
+	if pkt.Tag == 0 {
+		return
+	}
+	id, seq := decodeTag(pkt.Tag)
+	msg, ok := m.inflight[id]
+	if !ok {
+		return
+	}
+	if int64(seq) != msg.nextSeq {
+		m.OutOfOrder++
+	}
+	msg.nextSeq = int64(seq) + 1
+	msg.received++
+	if msg.received == msg.Segments {
+		msg.CompletedAt = m.net.Engine.Now()
+		delete(m.inflight, id)
+		m.completed = append(m.completed, msg)
+	}
+}
+
+// Completed returns the fully reassembled messages in completion
+// order.
+func (m *Messenger) Completed() []*Message { return m.completed }
+
+// Inflight returns the number of messages not yet fully delivered.
+func (m *Messenger) Inflight() int { return len(m.inflight) }
+
+// encodeTag packs a message ID and segment index into a packet tag.
+// The tag is always non-zero because IDs start at 1.
+func encodeTag(id int64, seq int) int64 { return id<<20 | int64(seq) }
+
+func decodeTag(tag int64) (id int64, seq int) {
+	return tag >> 20, int(tag & (maxSegments - 1))
+}

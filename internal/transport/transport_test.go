@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sl"
+	"repro/internal/traffic"
+)
+
+// harness builds a 2-switch network with one admitted connection and a
+// messenger.
+func harness(t *testing.T, level int, mbps float64) (*fabric.Network, *Messenger, *fabric.Flow) {
+	t.Helper()
+	net, err := fabric.New(fabric.DefaultConfig(2, 256, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Adm.Admit(traffic.Request{
+		Src: 0, Dst: 7, Level: sl.DefaultLevels[level], Mbps: mbps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := net.AddConnection(conn)
+	f.IAT = 1 << 40 // silence the CBR generator; transport drives traffic
+	m := NewMessenger(net)
+	return net, m, f
+}
+
+func TestSingleMessageReassembly(t *testing.T) {
+	net, m, f := harness(t, 9, 32)
+	msg, err := m.Send(f, 1000) // 4 segments of 256 (last 232)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Segments != 4 {
+		t.Fatalf("segments = %d, want 4", msg.Segments)
+	}
+	net.Engine.Run(1 << 22)
+	if msg.CompletedAt == 0 {
+		t.Fatal("message not reassembled")
+	}
+	if msg.Latency() <= 0 {
+		t.Errorf("latency = %d", msg.Latency())
+	}
+	if m.OutOfOrder != 0 {
+		t.Errorf("%d out-of-order segments on a deterministic path", m.OutOfOrder)
+	}
+	if m.Inflight() != 0 || len(m.Completed()) != 1 {
+		t.Errorf("inflight=%d completed=%d", m.Inflight(), len(m.Completed()))
+	}
+}
+
+func TestExactMultipleOfMTU(t *testing.T) {
+	net, m, f := harness(t, 9, 32)
+	msg, err := m.Send(f, 512) // exactly 2 segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Segments != 2 {
+		t.Fatalf("segments = %d, want 2", msg.Segments)
+	}
+	net.Engine.Run(1 << 22)
+	if msg.CompletedAt == 0 {
+		t.Fatal("message not reassembled")
+	}
+}
+
+func TestRejectsBadSizes(t *testing.T) {
+	_, m, f := harness(t, 9, 32)
+	if _, err := m.Send(f, 0); err == nil {
+		t.Error("zero-size message accepted")
+	}
+	if _, err := m.Send(f, 256*maxSegments); err == nil {
+		t.Error("oversized message accepted")
+	}
+}
+
+func TestMessagesCompleteInOrderPerConnection(t *testing.T) {
+	net, m, f := harness(t, 9, 64)
+	var msgs []*Message
+	for i := 0; i < 10; i++ {
+		msg, err := m.Send(f, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, msg)
+	}
+	net.Engine.Run(1 << 24)
+	done := m.Completed()
+	if len(done) != len(msgs) {
+		t.Fatalf("completed %d of %d messages (dropped segments: %d)", len(done), len(msgs), msgs[0].Dropped)
+	}
+	for i := range done {
+		if done[i].ID != msgs[i].ID {
+			t.Fatalf("completion order %v broken at %d", done, i)
+		}
+	}
+	if m.OutOfOrder != 0 {
+		t.Errorf("%d out-of-order segments", m.OutOfOrder)
+	}
+}
+
+func TestTwoConnectionsNoCrossTalk(t *testing.T) {
+	net, err := fabric.New(fabric.DefaultConfig(2, 256, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFlow := func(src, dst int) *fabric.Flow {
+		conn, err := net.Adm.Admit(traffic.Request{
+			Src: src, Dst: dst, Level: sl.DefaultLevels[8], Mbps: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := net.AddConnection(conn)
+		f.IAT = 1 << 40
+		return f
+	}
+	fa := mkFlow(0, 6)
+	fb := mkFlow(1, 7)
+	m := NewMessenger(net)
+	ma, _ := m.Send(fa, 3000)
+	mb, _ := m.Send(fb, 5000)
+	net.Engine.Run(1 << 23)
+	if ma.CompletedAt == 0 || mb.CompletedAt == 0 {
+		t.Fatal("messages not reassembled")
+	}
+	if m.OutOfOrder != 0 {
+		t.Errorf("cross-talk: %d out-of-order segments", m.OutOfOrder)
+	}
+}
+
+// TestSourceQueueOverflowCounted: a message far exceeding the host
+// queue loses segments and never completes, and the loss is visible.
+func TestSourceQueueOverflowCounted(t *testing.T) {
+	net, m, f := harness(t, 9, 64)
+	// Host queue cap is 512 packets; 600 segments overflow it.
+	msg, err := m.Send(f, 600*256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Dropped == 0 {
+		t.Fatal("no drops despite overflowing the source queue")
+	}
+	net.Engine.Run(1 << 24)
+	if msg.CompletedAt != 0 {
+		t.Error("lossy message reported complete")
+	}
+	if m.Inflight() != 1 {
+		t.Errorf("inflight = %d, want the incomplete message", m.Inflight())
+	}
+}
+
+// TestStream sends periodic requests and checks steady completion.
+func TestStream(t *testing.T) {
+	net, m, f := harness(t, 9, 64)
+	m.Stream(f, 1024, 100_000)
+	net.Engine.Run(1_000_000)
+	net.StopGeneration()
+	if got := len(m.Completed()); got < 9 {
+		t.Errorf("completed %d streamed messages, want >= 9", got)
+	}
+}
+
+// TestMessageLatencyComposesFromPacketGuarantees: on an idle fabric a
+// message's latency is near its serialization time; under a reserved
+// connection the last segment still meets the packet deadline, so the
+// message latency is bounded by serialization + one deadline.
+func TestMessageLatencyBound(t *testing.T) {
+	net, m, f := harness(t, 5, 64)
+	const size = 8 * 256
+	msg, err := m.Send(f, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Engine.Run(1 << 24)
+	if msg.CompletedAt == 0 {
+		t.Fatal("not reassembled")
+	}
+	bound := int64(msg.Segments)*int64(f.Wire) + f.Deadline
+	if msg.Latency() > bound {
+		t.Errorf("latency %d exceeds serialization+deadline bound %d", msg.Latency(), bound)
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		id  int64
+		seq int
+	}{{1, 0}, {7, 123}, {1 << 30, maxSegments - 1}} {
+		id, seq := decodeTag(encodeTag(c.id, c.seq))
+		if id != c.id || seq != c.seq {
+			t.Errorf("tag(%d,%d) round-tripped to (%d,%d)", c.id, c.seq, id, seq)
+		}
+	}
+}

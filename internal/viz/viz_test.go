@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSparkShape(t *testing.T) {
+	s := Spark([]float64{0, 50, 100}, 100)
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("sparkline has %d runes, want 3", len(runes))
+	}
+	if runes[0] != ' ' {
+		t.Errorf("zero value rendered as %q", runes[0])
+	}
+	if runes[2] != '█' {
+		t.Errorf("full value rendered as %q", runes[2])
+	}
+}
+
+func TestSparkClampsAndHandlesBadMax(t *testing.T) {
+	s := Spark([]float64{-10, 500}, 100)
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[1] != '█' {
+		t.Errorf("clamping failed: %q", s)
+	}
+	if got := Spark([]float64{1}, 0); utf8.RuneCountInString(got) != 1 {
+		t.Errorf("zero max mishandled: %q", got)
+	}
+}
+
+func TestBarWidths(t *testing.T) {
+	if got := Bar(100, 10); got != strings.Repeat("█", 10) {
+		t.Errorf("full bar = %q", got)
+	}
+	if got := Bar(0, 10); got != strings.Repeat(" ", 10) {
+		t.Errorf("empty bar = %q", got)
+	}
+	half := Bar(50, 10)
+	if utf8.RuneCountInString(half) != 10 {
+		t.Errorf("bar width = %d runes", utf8.RuneCountInString(half))
+	}
+	if !strings.HasPrefix(half, "█████") {
+		t.Errorf("half bar = %q", half)
+	}
+}
+
+func TestBarAlwaysFixedWidthQuick(t *testing.T) {
+	f := func(pct float64, w uint8) bool {
+		width := 1 + int(w%40)
+		return utf8.RuneCountInString(Bar(pct, width)) == width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFRow(t *testing.T) {
+	row := CDFRow("SL 0", []float64{10, 50, 100})
+	if !strings.Contains(row, "SL 0") || !strings.Contains(row, "100.0%") {
+		t.Errorf("row = %q", row)
+	}
+}
