@@ -6,6 +6,8 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/arbtable"
@@ -13,7 +15,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/metrics"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/sl"
 	"repro/internal/stats"
@@ -229,9 +233,10 @@ func BenchmarkDefragment(b *testing.B) {
 	}
 }
 
-// BenchmarkArbiterPick measures the output-port scheduler under a
-// loaded table.
-func BenchmarkArbiterPick(b *testing.B) {
+// benchArbiter builds the loaded arbiter shared by the Pick
+// benchmarks.
+func benchArbiter(b *testing.B) (*arbtable.Arbiter, *arbtable.Ready) {
+	b.Helper()
 	table := arbtable.New(2)
 	alloc := core.NewAllocator(table)
 	for i := 0; i < 8; i++ {
@@ -246,11 +251,47 @@ func BenchmarkArbiterPick(b *testing.B) {
 		ready[vl] = 282
 	}
 	ready[10], ready[11] = 282, 282
+	return arb, &ready
+}
+
+// BenchmarkArbiterPick measures the output-port scheduler under a
+// loaded table, with observability disabled (the default).  The 0
+// allocs/op report is the zero-overhead contract.
+func BenchmarkArbiterPick(b *testing.B) {
+	arb, ready := benchArbiter(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, ok := arb.Pick(&ready); !ok {
+		if _, _, ok := arb.Pick(ready); !ok {
 			b.Fatal("nothing picked")
 		}
+	}
+}
+
+// BenchmarkArbiterPickInstrumented is the same hot path with metrics
+// counters attached and every pick recorded into the trace ring —
+// still 0 allocs/op; the observability layer adds arithmetic, not
+// allocation.
+func BenchmarkArbiterPickInstrumented(b *testing.B) {
+	arb, ready := benchArbiter(b)
+	var c metrics.ArbCounters
+	arb.SetMetrics(&c)
+	trace := metrics.NewTraceBuffer(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vl, _, ok := arb.Pick(ready)
+		if !ok {
+			b.Fatal("nothing picked")
+		}
+		lp := arb.Last()
+		trace.Record(metrics.TraceEvent{
+			Time: int64(i), Port: 0, VL: uint8(vl), High: lp.High,
+			Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
+		})
+	}
+	if c.Picks == 0 {
+		b.Fatal("counters not attached")
 	}
 }
 
@@ -386,4 +427,67 @@ func BenchmarkReconfiguration(b *testing.B) {
 	}
 	b.ReportMetric(100*res.MeanSurvival, "%mean-survival")
 	b.ReportMetric(res.MeanReconfMADs, "reconf-MADs")
+}
+
+// sweepBenchJobs builds the 16-config sweep (two fabric sizes, eight
+// seeds each) used by BenchmarkSweepWorkers.  Each job is a full
+// independent simulation: build the network, admit connections, run
+// warm-up plus measurement, and return the delivered-byte total as a
+// cheap cross-worker checksum.
+func sweepBenchJobs() []runner.Job[int64] {
+	var jobs []runner.Job[int64]
+	for _, sw := range []int{2, 3} {
+		for seed := int64(42); seed < 50; seed++ {
+			sw, seed := sw, seed
+			jobs = append(jobs, runner.Job[int64]{
+				Name: fmt.Sprintf("bench-%dsw-seed%d", sw, seed),
+				Seed: seed,
+				Run: func(context.Context, int64) (int64, error) {
+					p := experiments.Tiny()
+					p.Switches = sw
+					p.Seed = seed
+					run, err := experiments.SetupWith(p, experiments.SmallPayload, nil)
+					if err != nil {
+						return 0, err
+					}
+					run.Execute()
+					_, delivered, _ := run.Net.Totals()
+					return delivered, nil
+				},
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkSweepWorkers measures wall-clock time of the same
+// 16-config sweep at several worker counts.  On a multi-core host the
+// 4- and 8-worker variants should show the near-linear speedup the
+// parallel runner exists for (compare ns/op across sub-benchmarks;
+// per-config results are bit-identical regardless of worker count —
+// TestParallelRunnerDeterminism is the correctness gate).  On a
+// single-core host all variants collapse to sequential speed.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var checksum int64
+			for i := 0; i < b.N; i++ {
+				results := runner.Sweep(context.Background(), sweepBenchJobs(),
+					runner.Options{Workers: workers})
+				if err := runner.FirstError(results); err != nil {
+					b.Fatal(err)
+				}
+				sum := int64(0)
+				for _, r := range results {
+					sum += r.Value
+				}
+				if checksum == 0 {
+					checksum = sum
+				} else if sum != checksum {
+					b.Fatalf("sweep checksum changed between iterations: %d then %d", checksum, sum)
+				}
+			}
+			b.ReportMetric(float64(len(sweepBenchJobs())), "configs")
+		})
+	}
 }

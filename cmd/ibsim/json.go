@@ -3,9 +3,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"os"
+	"io"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -23,11 +24,55 @@ type jsonReport struct {
 	Figure5L   []experiments.JitterSeries    `json:"figure5Large"`
 	Figure6    []experiments.BestWorstSeries `json:"figure6"`
 	BySL       []experiments.SLBreakdownRow  `json:"connectionsBySL"`
+
+	// Metrics is present when -metrics (or -trace) was given: the
+	// per-run observability counters and, when tracing, the tail of
+	// the arbitration event ring.
+	Metrics *metricsDump `json:"metrics,omitempty"`
+}
+
+// metricsDump carries the counters of the paired evaluation runs.
+type metricsDump struct {
+	Small *runMetrics `json:"small,omitempty"`
+	Large *runMetrics `json:"large,omitempty"`
+}
+
+// runMetrics is one run's counter snapshot plus its trace tail.
+type runMetrics struct {
+	Counters      metrics.Snapshot     `json:"counters"`
+	Trace         []metrics.TraceEvent `json:"trace,omitempty"`
+	TraceRecorded uint64               `json:"traceRecorded,omitempty"`
+	TraceDropped  uint64               `json:"traceDropped,omitempty"`
+}
+
+// dumpRun extracts the metrics of one executed run; nil when the run
+// was not instrumented.
+func dumpRun(run *experiments.Run) *runMetrics {
+	if run == nil || run.Net.Metrics == nil {
+		return nil
+	}
+	d := &runMetrics{Counters: run.Net.Metrics.Snapshot()}
+	if t := run.Net.Engine.Trace; t != nil {
+		d.Trace = t.Events()
+		d.TraceRecorded = t.Recorded()
+		d.TraceDropped = t.Dropped()
+	}
+	return d
+}
+
+// dumpEvaluation collects the metrics of both runs; nil when neither
+// was instrumented.
+func dumpEvaluation(ev *experiments.Evaluation) *metricsDump {
+	small, large := dumpRun(ev.Small), dumpRun(ev.Large)
+	if small == nil && large == nil {
+		return nil
+	}
+	return &metricsDump{Small: small, Large: large}
 }
 
 // emitJSON runs the paired evaluation and writes one JSON document to
-// stdout.
-func emitJSON(p experiments.Params, scale string) error {
+// w.
+func emitJSON(w io.Writer, p experiments.Params, scale string) error {
 	ev, err := experiments.Evaluate(p)
 	if err != nil {
 		return err
@@ -44,10 +89,20 @@ func emitJSON(p experiments.Params, scale string) error {
 		Figure5L:   experiments.Figure5For(ev.Large),
 		Figure6:    ev.Figure6(),
 		BySL:       ev.Small.SLBreakdown(),
+		Metrics:    dumpEvaluation(ev),
 	}
-	enc := json.NewEncoder(os.Stdout)
+	return encodeIndented(w, rep)
+}
+
+// emitMetrics writes just the metrics dump of an executed evaluation.
+func emitMetrics(w io.Writer, ev *experiments.Evaluation) error {
+	return encodeIndented(w, dumpEvaluation(ev))
+}
+
+func encodeIndented(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(v); err != nil {
 		return fmt.Errorf("encoding report: %w", err)
 	}
 	return nil

@@ -21,21 +21,27 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/viz"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|all")
-		scale    = flag.String("scale", "full", "scale preset: tiny|quick|full")
-		seed     = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
-		switches = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
-		sizes    = flag.String("sizes", "8,16,32", "network sizes for -exp scaling")
-		traces   = flag.Int("traces", 50, "request traces for -exp ablation-fill")
-		asJSON   = flag.Bool("json", false, "emit the full evaluation as one JSON document (ignores -exp)")
-		withViz  = flag.Bool("viz", false, "render figures 4 and 5 as terminal charts too")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|all")
+		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
+		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
+		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
+		sizes       = flag.String("sizes", "8,16,32", "network sizes for -exp scaling")
+		traces      = flag.Int("traces", 50, "request traces for -exp ablation-fill")
+		asJSON      = flag.Bool("json", false, "emit the full evaluation as one JSON document (ignores -exp)")
+		withViz     = flag.Bool("viz", false, "render figures 4 and 5 as terminal charts too")
+		parallel    = flag.Int("parallel", 0, "worker goroutines for sweeps (0 = GOMAXPROCS)")
+		withMetrics = flag.Bool("metrics", false, "collect per-port arbitration metrics and append a JSON dump")
+		traceEvents = flag.Int("trace", 0, "record the last N arbitration decisions per run (implies -metrics)")
 	)
 	flag.Parse()
+
+	runner.SetDefaultWorkers(*parallel)
 
 	p, err := params(*scale)
 	if err != nil {
@@ -47,10 +53,12 @@ func main() {
 	if *switches != 0 {
 		p.Switches = *switches
 	}
+	p.Metrics = *withMetrics || *traceEvents > 0
+	p.TraceEvents = *traceEvents
 
 	start := time.Now()
 	if *asJSON {
-		if err := emitJSON(p, *scale); err != nil {
+		if err := emitJSON(os.Stdout, p, *scale); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "\n[json in %v]\n", time.Since(start).Round(time.Millisecond))
@@ -60,7 +68,13 @@ func main() {
 	case "table1":
 		experiments.PrintTable1(os.Stdout)
 	case "table2", "figure4", "figure5", "figure6", "all":
-		runEvaluation(p, *exp, *withViz)
+		ev := runEvaluation(p, *exp, *withViz)
+		if p.Metrics {
+			fmt.Println("Arbitration metrics (JSON):")
+			if err := emitMetrics(os.Stdout, ev); err != nil {
+				fatal(err)
+			}
+		}
 	case "ablation-priority":
 		res, err := experiments.AblationPrioritySplit(p.Seed)
 		if err != nil {
@@ -93,9 +107,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "\n[%s in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
 }
 
-// runEvaluation executes the paired small/large-packet simulation and
-// prints the requested artifacts (or all of them).
-func runEvaluation(p experiments.Params, which string, withViz bool) {
+// runEvaluation executes the paired small/large-packet simulation,
+// prints the requested artifacts (or all of them), and returns the
+// evaluation for optional metrics dumping.
+func runEvaluation(p experiments.Params, which string, withViz bool) *experiments.Evaluation {
 	ev, err := experiments.Evaluate(p)
 	if err != nil {
 		fatal(err)
@@ -151,6 +166,7 @@ func runEvaluation(p experiments.Params, which string, withViz bool) {
 		fmt.Println()
 		experiments.PrintFillPolicies(os.Stdout, experiments.AblationFillPolicies(50, p.Seed))
 	}
+	return ev
 }
 
 func params(scale string) (experiments.Params, error) {

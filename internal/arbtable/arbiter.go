@@ -1,5 +1,7 @@
 package arbtable
 
+import "repro/internal/metrics"
+
 // Ready describes, for each data VL, the size in bytes of the packet at
 // the head of that VL's queue, or zero when the VL has nothing eligible
 // to send (no packet, or no downstream credit).  The caller is
@@ -49,7 +51,31 @@ type Arbiter struct {
 	lo wrrState
 
 	hiSinceLow int // high-priority bytes sent since a low-priority send
+
+	// m, when non-nil, receives pick/scan/stall counters.  All ports
+	// of one network share the same counter block.
+	m *metrics.ArbCounters
+
+	last LastPick
 }
+
+// LastPick describes the most recent successful Pick, for trace
+// instrumentation: which table and entry served, and the byte
+// allowance the entry has left.
+type LastPick struct {
+	High     bool
+	Entry    int
+	Residual int
+}
+
+// SetMetrics attaches (or, with nil, detaches) a counter block.  With
+// no block attached the arbiter's only overhead is one nil check per
+// pick.
+func (a *Arbiter) SetMetrics(c *metrics.ArbCounters) { a.m = c }
+
+// Last returns the most recent successful pick's table position.  It
+// is only meaningful directly after a Pick that returned ok.
+func (a *Arbiter) Last() LastPick { return a.last }
 
 // NewArbiter returns an arbiter over t.  The table may be mutated
 // between Pick calls (weights are re-read on every entry visit), which
@@ -77,21 +103,35 @@ func NewArbiter(t *Table) *Arbiter {
 //     residual allowance may send one packet even if the packet is
 //     larger than the residual.
 func (a *Arbiter) Pick(ready *Ready) (vl int, high bool, ok bool) {
-	hiCh, hiOK := peek(a.table.High[:], &a.hi, ready)
-	loCh, loOK := peek(a.table.Low, &a.lo, ready)
+	hiCh, hiN, hiOK := peek(a.table.High[:], &a.hi, ready)
+	loCh, loN, loOK := peek(a.table.Low, &a.lo, ready)
+	if m := a.m; m != nil {
+		m.EntriesVisited += int64(hiN + loN)
+	}
 
 	switch {
 	case hiOK && (!loOK || !a.limitExceeded()):
 		size := ready[hiCh.vl]
 		commit(a.table.High[:], &a.hi, hiCh, size)
 		a.hiSinceLow += size
+		a.last = LastPick{High: true, Entry: hiCh.entry, Residual: a.hi.residual}
+		if m := a.m; m != nil {
+			m.Picks++
+		}
 		return hiCh.vl, true, true
 	case loOK:
 		size := ready[loCh.vl]
 		commit(a.table.Low, &a.lo, loCh, size)
 		a.hiSinceLow = 0
+		a.last = LastPick{High: false, Entry: loCh.entry, Residual: a.lo.residual}
+		if m := a.m; m != nil {
+			m.Picks++
+		}
 		return loCh.vl, false, true
 	default:
+		if m := a.m; m != nil {
+			m.Stalls++
+		}
 		return -1, false, false
 	}
 }
@@ -114,10 +154,11 @@ func (a *Arbiter) limitExceeded() bool {
 // it has residual allowance and an eligible packet; otherwise the scan
 // advances cyclically to the next entry whose VL is eligible.  Skipped
 // entries forfeit their allowance for this cycle, exactly as a hardware
-// arbiter would move past VLs with nothing to send.
-func peek(entries []Entry, st *wrrState, ready *Ready) (choice, bool) {
+// arbiter would move past VLs with nothing to send.  visited reports
+// how many entries were examined, for scan-length instrumentation.
+func peek(entries []Entry, st *wrrState, ready *Ready) (ch choice, visited int, ok bool) {
 	if len(entries) == 0 {
-		return choice{}, false
+		return choice{}, 0, false
 	}
 	if st.idx >= len(entries) {
 		// The table shrank since the last pick (dynamic low tables).
@@ -126,7 +167,7 @@ func peek(entries []Entry, st *wrrState, ready *Ready) (choice, bool) {
 	if st.active && st.residual > 0 {
 		e := entries[st.idx]
 		if !e.IsFree() && ready[e.VL] > 0 {
-			return choice{entry: st.idx, vl: int(e.VL), fresh: false}, true
+			return choice{entry: st.idx, vl: int(e.VL), fresh: false}, 1, true
 		}
 	}
 	// Advance to the next entry with an eligible VL.  Before the first
@@ -142,9 +183,9 @@ func peek(entries []Entry, st *wrrState, ready *Ready) (choice, bool) {
 		if e.IsFree() || ready[e.VL] == 0 {
 			continue
 		}
-		return choice{entry: i, vl: int(e.VL), fresh: true}, true
+		return choice{entry: i, vl: int(e.VL), fresh: true}, step + 1, true
 	}
-	return choice{}, false
+	return choice{}, len(entries), false
 }
 
 // commit applies a choice returned by peek: the serving entry becomes

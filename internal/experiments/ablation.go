@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 	"text/tabwriter"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/runner"
 	"repro/internal/sl"
 	"repro/internal/traffic"
 )
@@ -78,21 +79,28 @@ func prioritySplitScenario(seed int64, oldScheme bool) (float64, error) {
 	return float64(victim.Delivered.Packets) / expected, nil
 }
 
-// AblationPrioritySplit runs the two scenarios and reports both
-// goodputs.  The paper's scheme keeps the victim's goodput near 1; the
-// old scheme starves it.
+// AblationPrioritySplit runs the two scenarios through the shared
+// worker pool and reports both goodputs.  The paper's scheme keeps the
+// victim's goodput near 1; the old scheme starves it.
 func AblationPrioritySplit(seed int64) (PrioritySplitResult, error) {
-	var res PrioritySplitResult
-	var err1, err2 error
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); res.NewSchemeGoodput, err1 = prioritySplitScenario(seed, false) }()
-	go func() { defer wg.Done(); res.OldSchemeGoodput, err2 = prioritySplitScenario(seed, true) }()
-	wg.Wait()
-	if err1 != nil {
-		return res, err1
+	job := func(name string, oldScheme bool) runner.Job[float64] {
+		return runner.Job[float64]{
+			Name: name,
+			Seed: seed,
+			Run: func(context.Context, int64) (float64, error) {
+				return prioritySplitScenario(seed, oldScheme)
+			},
+		}
 	}
-	return res, err2
+	results := runner.Sweep(context.Background(), []runner.Job[float64]{
+		job("priority-split-new", false),
+		job("priority-split-old", true),
+	}, runner.Options{})
+	res := PrioritySplitResult{
+		NewSchemeGoodput: results[0].Value,
+		OldSchemeGoodput: results[1].Value,
+	}
+	return res, runner.FirstError(results)
 }
 
 // PrintPrioritySplit renders the ablation result.
@@ -116,22 +124,35 @@ type FillPolicyResult struct {
 }
 
 // AblationFillPolicies compares the bit-reversal policy with the naive
-// natural-order policy over the given number of random traces.
+// natural-order policy over the given number of random traces, one
+// pool job per policy.
 func AblationFillPolicies(traces int, seed int64) [2]FillPolicyResult {
 	policies := [2]core.Policy{core.BitReversal, core.NaturalOrder}
-	var out [2]FillPolicyResult
+	jobs := make([]runner.Job[FillPolicyResult], len(policies))
 	for pi, pol := range policies {
-		out[pi].Policy = pol.Name
-		sumFill, sumServ := 0.0, 0.0
-		for i := 0; i < traces; i++ {
-			s := seed + int64(i)
-			sumFill += float64(baseline.FillUntilReject(s, pol))
-			res := baseline.Replay(baseline.RandomTrace(300, s), pol)
-			sumServ += res.ServiceabilityRatio()
-			out[pi].FalseRejects += res.FalseRejects
+		pol := pol
+		jobs[pi] = runner.Job[FillPolicyResult]{
+			Name: "fill-" + pol.Name,
+			Seed: seed,
+			Run: func(context.Context, int64) (FillPolicyResult, error) {
+				r := FillPolicyResult{Policy: pol.Name}
+				sumFill, sumServ := 0.0, 0.0
+				for i := 0; i < traces; i++ {
+					s := seed + int64(i)
+					sumFill += float64(baseline.FillUntilReject(s, pol))
+					res := baseline.Replay(baseline.RandomTrace(300, s), pol)
+					sumServ += res.ServiceabilityRatio()
+					r.FalseRejects += res.FalseRejects
+				}
+				r.MeanFillUntilReject = sumFill / float64(traces)
+				r.Serviceability = sumServ / float64(traces)
+				return r, nil
+			},
 		}
-		out[pi].MeanFillUntilReject = sumFill / float64(traces)
-		out[pi].Serviceability = sumServ / float64(traces)
+	}
+	var out [2]FillPolicyResult
+	for _, res := range runner.Sweep(context.Background(), jobs, runner.Options{}) {
+		out[res.Index] = res.Value
 	}
 	return out
 }

@@ -8,12 +8,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/admission"
 	"repro/internal/fabric"
+	"repro/internal/runner"
 	"repro/internal/sl"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -34,6 +35,14 @@ type Params struct {
 	MinPacketsSlowest     int   // steady state: packets the slowest connection must receive
 	BEPerHostMbps         float64
 	WarmupIATs            int64 // warm-up length in units of the slowest IAT
+
+	// Metrics attaches per-network observability counters to every
+	// run built from these parameters (fabric.Network.EnableMetrics).
+	Metrics bool
+
+	// TraceEvents, when positive, attaches a ring buffer recording the
+	// last TraceEvents arbitration decisions of each run.
+	TraceEvents int
 }
 
 // Full returns the paper-scale parameters: 16 switches and 64 hosts,
@@ -105,6 +114,12 @@ func SetupWith(p Params, payload int, mutate func(*fabric.Config)) (*Run, error)
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if p.Metrics {
+		net.EnableMetrics()
+	}
+	if p.TraceEvents > 0 {
+		net.EnableTrace(p.TraceEvents)
 	}
 	src := traffic.NewSource(sl.DefaultLevels, net.Topo.NumHosts(), p.Seed+1)
 	fill := net.Adm.Fill(src, p.MaxConsecutiveRejects)
@@ -223,34 +238,32 @@ type Evaluation struct {
 	Small, Large *Run
 }
 
-// Evaluate sets up and executes the small- and large-packet runs in
-// parallel (each run is single-goroutine; independent runs fan out).
+// Evaluate sets up and executes the small- and large-packet runs
+// through the shared worker pool (each run is single-goroutine;
+// independent runs fan out).
 func Evaluate(p Params) (*Evaluation, error) {
-	var (
-		wg         sync.WaitGroup
-		small      *Run
-		large      *Run
-		errS, errL error
-	)
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		if small, errS = Setup(p, SmallPayload); errS == nil {
-			small.Execute()
-		}
-	}()
-	go func() {
-		defer wg.Done()
-		if large, errL = Setup(p, LargePayload); errL == nil {
-			large.Execute()
-		}
-	}()
-	wg.Wait()
-	if errS != nil {
-		return nil, errS
+	jobs := []runner.Job[*Run]{
+		{Name: "small-packets", Seed: p.Seed, Run: func(context.Context, int64) (*Run, error) {
+			return setupAndExecute(p, SmallPayload, nil)
+		}},
+		{Name: "large-packets", Seed: p.Seed, Run: func(context.Context, int64) (*Run, error) {
+			return setupAndExecute(p, LargePayload, nil)
+		}},
 	}
-	if errL != nil {
-		return nil, errL
+	results := runner.Sweep(context.Background(), jobs, runner.Options{})
+	if err := runner.FirstError(results); err != nil {
+		return nil, err
 	}
-	return &Evaluation{Small: small, Large: large}, nil
+	return &Evaluation{Small: results[0].Value, Large: results[1].Value}, nil
+}
+
+// setupAndExecute is the unit of work every sweep job runs: build the
+// network, load it, and drive it through warm-up and measurement.
+func setupAndExecute(p Params, payload int, mutate func(*fabric.Config)) (*Run, error) {
+	run, err := SetupWith(p, payload, mutate)
+	if err != nil {
+		return nil, err
+	}
+	run.Execute()
+	return run, nil
 }

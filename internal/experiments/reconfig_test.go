@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReconfigurationTable runs the control-plane study across fabric
+// sizes and checks the invariants that hold at any size: bring-up
+// costs grow with the fabric, survival fractions stay in [0,1], and
+// every recovery spends MADs.
+func TestReconfigurationTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	cases := []struct {
+		name      string
+		switches  int
+		seed      int64
+		liveConns int
+	}{
+		{"4-switches", 4, 7, 30},
+		{"8-switches", 8, 7, 50},
+		{"8-switches-alt-seed", 8, 21, 50},
+	}
+	var prevQoSMADs int
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Reconfiguration(c.switches, c.seed, c.liveConns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Switches != c.switches || res.Hosts <= 0 {
+				t.Fatalf("size not echoed: %+v", res)
+			}
+			if res.Sweep.MADs == 0 || res.Forwarding.MADs == 0 || res.QoS.MADs == 0 {
+				t.Errorf("bring-up costs incomplete: sweep %d, fwd %d, qos %d",
+					res.Sweep.MADs, res.Forwarding.MADs, res.QoS.MADs)
+			}
+			if res.FailuresTried == 0 {
+				t.Error("no link failures exercised")
+			}
+			if res.MeanSurvival < 0 || res.MeanSurvival > 1 ||
+				res.WorstSurvival < 0 || res.WorstSurvival > 1 {
+				t.Errorf("survival out of [0,1]: mean %.3f worst %.3f", res.MeanSurvival, res.WorstSurvival)
+			}
+			if res.WorstSurvival > res.MeanSurvival {
+				t.Errorf("worst survival %.3f above mean %.3f", res.WorstSurvival, res.MeanSurvival)
+			}
+			if res.FailuresTried > 0 && res.MeanReconfMADs <= 0 {
+				t.Errorf("recovered from failures for free: %+v", res)
+			}
+			// QoS programming cost grows (weakly) with the fabric: same
+			// per-port table content, more ports.
+			if c.seed == 7 {
+				if res.QoS.MADs < prevQoSMADs {
+					t.Errorf("QoS MADs shrank with fabric size: %d -> %d", prevQoSMADs, res.QoS.MADs)
+				}
+				prevQoSMADs = res.QoS.MADs
+			}
+
+			var buf bytes.Buffer
+			PrintReconfig(&buf, res)
+			if !strings.Contains(buf.String(), "MADs") {
+				t.Error("rendering incomplete")
+			}
+		})
+	}
+}
+
+// TestReconfigurationRejectsDegenerateFabric: a single-switch fabric
+// cannot be generated, and the error must surface, not panic.
+func TestReconfigurationRejectsDegenerateFabric(t *testing.T) {
+	if _, err := Reconfiguration(1, 7, 10); err == nil {
+		t.Fatal("1-switch fabric accepted")
+	}
+}

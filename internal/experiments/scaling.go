@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 	"text/tabwriter"
 
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -24,40 +25,46 @@ type ScalingRow struct {
 }
 
 // Scaling runs the small-packet evaluation across the given network
-// sizes, one goroutine per size.
+// sizes through the shared worker pool.
 func Scaling(p Params, sizes []int) []ScalingRow {
-	rows := make([]ScalingRow, len(sizes))
-	var wg sync.WaitGroup
+	jobs := make([]runner.Job[ScalingRow], len(sizes))
 	for i, size := range sizes {
-		wg.Add(1)
-		go func(i, size int) {
-			defer wg.Done()
-			ps := p
-			ps.Switches = size
-			run, err := Setup(ps, SmallPayload)
-			if err != nil {
-				rows[i] = ScalingRow{Switches: size, Err: err}
-				return
-			}
-			run.Execute()
-			all := stats.NewDelayCDF()
-			jit := &stats.JitterHist{}
-			for _, f := range run.Flows {
-				all.Merge(f.Delay)
-				jit.Merge(f.Jitter)
-			}
-			rows[i] = ScalingRow{
-				Switches:           size,
-				Hosts:              run.Net.Topo.NumHosts(),
-				Connections:        len(run.Flows),
-				DeadlineMetPercent: all.PercentMeetingDeadline(),
-				CentralJitter:      jit.CentralPercent(),
-				HostUtilization:    run.Net.MeanHostUtilization(),
-				DeliveredPerNode:   run.Net.DeliveredBytesPerCyclePerNode(),
-			}
-		}(i, size)
+		size := size
+		jobs[i] = runner.Job[ScalingRow]{
+			Name: fmt.Sprintf("scaling-%dsw", size),
+			Seed: p.Seed,
+			Run: func(context.Context, int64) (ScalingRow, error) {
+				ps := p
+				ps.Switches = size
+				run, err := setupAndExecute(ps, SmallPayload, nil)
+				if err != nil {
+					return ScalingRow{}, err
+				}
+				all := stats.NewDelayCDF()
+				jit := &stats.JitterHist{}
+				for _, f := range run.Flows {
+					all.Merge(f.Delay)
+					jit.Merge(f.Jitter)
+				}
+				return ScalingRow{
+					Switches:           size,
+					Hosts:              run.Net.Topo.NumHosts(),
+					Connections:        len(run.Flows),
+					DeadlineMetPercent: all.PercentMeetingDeadline(),
+					CentralJitter:      jit.CentralPercent(),
+					HostUtilization:    run.Net.MeanHostUtilization(),
+					DeliveredPerNode:   run.Net.DeliveredBytesPerCyclePerNode(),
+				}, nil
+			},
+		}
 	}
-	wg.Wait()
+	rows := make([]ScalingRow, len(sizes))
+	for _, res := range runner.Sweep(context.Background(), jobs, runner.Options{}) {
+		rows[res.Index] = res.Value
+		if res.Err != nil {
+			rows[res.Index] = ScalingRow{Switches: sizes[res.Index], Err: res.Err}
+		}
+	}
 	return rows
 }
 

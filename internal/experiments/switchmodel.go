@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 	"text/tabwriter"
 
 	"repro/internal/fabric"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -25,36 +26,42 @@ type SwitchModelRow struct {
 	Err                error
 }
 
-// AblationSwitchModels runs the small-packet evaluation across
-// crossbar speedups, one goroutine per model.
+// AblationSwitchModels runs the large-packet evaluation across
+// crossbar speedups through the shared worker pool, one job per model.
 func AblationSwitchModels(p Params, speedups []int) []SwitchModelRow {
-	rows := make([]SwitchModelRow, len(speedups))
-	var wg sync.WaitGroup
+	jobs := make([]runner.Job[SwitchModelRow], len(speedups))
 	for i, su := range speedups {
-		wg.Add(1)
-		go func(i, su int) {
-			defer wg.Done()
-			run, err := SetupWith(p, LargePayload, func(cfg *fabric.Config) {
-				cfg.CrossbarSpeedup = su
-			})
-			if err != nil {
-				rows[i] = SwitchModelRow{Speedup: su, Err: err}
-				return
-			}
-			run.Execute()
-			all := stats.NewDelayCDF()
-			for _, f := range run.Flows {
-				all.Merge(f.Delay)
-			}
-			rows[i] = SwitchModelRow{
-				Speedup:            su,
-				DeadlineMetPercent: all.PercentMeetingDeadline(),
-				WorstDelayRatio:    all.MaxRatio(),
-				MeanDelayRatio:     all.MeanRatio(),
-			}
-		}(i, su)
+		su := su
+		jobs[i] = runner.Job[SwitchModelRow]{
+			Name: fmt.Sprintf("switchmodel-x%d", su),
+			Seed: p.Seed,
+			Run: func(context.Context, int64) (SwitchModelRow, error) {
+				run, err := setupAndExecute(p, LargePayload, func(cfg *fabric.Config) {
+					cfg.CrossbarSpeedup = su
+				})
+				if err != nil {
+					return SwitchModelRow{}, err
+				}
+				all := stats.NewDelayCDF()
+				for _, f := range run.Flows {
+					all.Merge(f.Delay)
+				}
+				return SwitchModelRow{
+					Speedup:            su,
+					DeadlineMetPercent: all.PercentMeetingDeadline(),
+					WorstDelayRatio:    all.MaxRatio(),
+					MeanDelayRatio:     all.MeanRatio(),
+				}, nil
+			},
+		}
 	}
-	wg.Wait()
+	rows := make([]SwitchModelRow, len(speedups))
+	for _, res := range runner.Sweep(context.Background(), jobs, runner.Options{}) {
+		rows[res.Index] = res.Value
+		if res.Err != nil {
+			rows[res.Index] = SwitchModelRow{Speedup: speedups[res.Index], Err: res.Err}
+		}
+	}
 	return rows
 }
 

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 	"text/tabwriter"
 
 	"repro/internal/fabric"
+	"repro/internal/runner"
 	"repro/internal/sl"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -110,21 +111,35 @@ func vbrScenario(seed int64, peakFactor, burst, switches int, windowIATs int64, 
 
 // AblationVBR runs both reservation policies for on/off VBR sources on
 // a network of the given size, measuring windowIATs periods of the
-// slowest VBR source.
+// slowest VBR source.  The two scenarios fan out through the shared
+// worker pool.
 func AblationVBR(seed int64, peakFactor, burst, switches int, windowIATs int64) VBRResult {
-	res := VBRResult{PeakFactor: peakFactor, Burst: burst}
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		res.MeanReserved = vbrScenario(seed, peakFactor, burst, switches, windowIATs, false)
-	}()
-	go func() {
-		defer wg.Done()
-		res.PeakReserved = vbrScenario(seed, peakFactor, burst, switches, windowIATs, true)
-	}()
-	wg.Wait()
-	return res
+	job := func(name string, reservePeak bool) runner.Job[VBRScenario] {
+		return runner.Job[VBRScenario]{
+			Name: name,
+			Seed: seed,
+			Run: func(context.Context, int64) (VBRScenario, error) {
+				return vbrScenario(seed, peakFactor, burst, switches, windowIATs, reservePeak), nil
+			},
+		}
+	}
+	results := runner.Sweep(context.Background(), []runner.Job[VBRScenario]{
+		job("vbr-mean-reserved", false),
+		job("vbr-peak-reserved", true),
+	}, runner.Options{})
+	for i := range results {
+		// Scenario errors travel inside VBRScenario; surface pool-level
+		// failures (a panicking job) the same way.
+		if results[i].Err != nil && results[i].Value.Err == nil {
+			results[i].Value.Err = results[i].Err
+		}
+	}
+	return VBRResult{
+		PeakFactor:   peakFactor,
+		Burst:        burst,
+		MeanReserved: results[0].Value,
+		PeakReserved: results[1].Value,
+	}
 }
 
 // PrintVBR renders the VBR extension experiment.

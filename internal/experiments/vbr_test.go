@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestVBRScenarioTable exercises the single-scenario runner across
+// burst shapes and reservation policies.
+func TestVBRScenarioTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	cases := []struct {
+		name        string
+		peakFactor  int
+		burst       int
+		switches    int
+		windowIATs  int64
+		reservePeak bool
+	}{
+		{"mean-reserved-short-burst", 2, 4, 2, 8, false},
+		{"mean-reserved-long-burst", 4, 8, 2, 8, false},
+		{"peak-reserved-short-burst", 2, 4, 2, 8, true},
+		{"peak-reserved-long-burst", 4, 8, 2, 8, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			s := vbrScenario(11, c.peakFactor, c.burst, c.switches, c.windowIATs, c.reservePeak)
+			if s.Err != nil {
+				t.Fatal(s.Err)
+			}
+			if s.Connections != 24 {
+				t.Errorf("connections = %d, want 24", s.Connections)
+			}
+			if s.DeadlineMetPercent < 0 || s.DeadlineMetPercent > 100 {
+				t.Errorf("deadline met %% out of range: %v", s.DeadlineMetPercent)
+			}
+			if s.WorstDelayRatio < 0 {
+				t.Errorf("negative worst delay ratio: %v", s.WorstDelayRatio)
+			}
+		})
+	}
+}
+
+// TestVBRScenarioDeterministic: the scenario is one seeded engine, so
+// repeated runs must agree exactly.
+func TestVBRScenarioDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	a := vbrScenario(11, 4, 8, 2, 8, false)
+	b := vbrScenario(11, 4, 8, 2, 8, false)
+	if a != b {
+		t.Fatalf("scenario diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestVBRPanicSurfaced: a pool-level failure must land in the
+// scenario's Err field rather than vanish (AblationVBR reports errors
+// through VBRScenario, not through a separate error return).
+func TestVBRResultShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	res := AblationVBR(11, 2, 4, 2, 6)
+	if res.PeakFactor != 2 || res.Burst != 4 {
+		t.Fatalf("parameters not echoed: %+v", res)
+	}
+	if res.MeanReserved.Err != nil || res.PeakReserved.Err != nil {
+		t.Fatalf("scenario errors: %v / %v", res.MeanReserved.Err, res.PeakReserved.Err)
+	}
+	var buf bytes.Buffer
+	PrintVBR(&buf, res)
+	for _, want := range []string{"mean rate", "peak rate"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendering missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 	"text/tabwriter"
 
 	"repro/internal/fabric"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -24,36 +25,42 @@ type VLCollapseRow struct {
 }
 
 // AblationVLCollapse runs the small-packet evaluation with the
-// identity mapping (15 data VLs) and with collapsed mappings, one
-// goroutine per lane budget.
+// identity mapping (15 data VLs) and with collapsed mappings through
+// the shared worker pool, one job per lane budget.
 func AblationVLCollapse(p Params, lanes []int) []VLCollapseRow {
-	rows := make([]VLCollapseRow, len(lanes))
-	var wg sync.WaitGroup
+	jobs := make([]runner.Job[VLCollapseRow], len(lanes))
 	for i, v := range lanes {
-		wg.Add(1)
-		go func(i, v int) {
-			defer wg.Done()
-			run, err := SetupWith(p, SmallPayload, func(cfg *fabric.Config) {
-				cfg.DataVLs = v
-			})
-			if err != nil {
-				rows[i] = VLCollapseRow{DataVLs: v, Err: err}
-				return
-			}
-			run.Execute()
-			all := stats.NewDelayCDF()
-			for _, f := range run.Flows {
-				all.Merge(f.Delay)
-			}
-			rows[i] = VLCollapseRow{
-				DataVLs:            v,
-				Connections:        len(run.Flows),
-				HostReservation:    run.Net.Adm.MeanHostReservation(),
-				DeadlineMetPercent: all.PercentMeetingDeadline(),
-			}
-		}(i, v)
+		v := v
+		jobs[i] = runner.Job[VLCollapseRow]{
+			Name: fmt.Sprintf("vlcollapse-%dvl", v),
+			Seed: p.Seed,
+			Run: func(context.Context, int64) (VLCollapseRow, error) {
+				run, err := setupAndExecute(p, SmallPayload, func(cfg *fabric.Config) {
+					cfg.DataVLs = v
+				})
+				if err != nil {
+					return VLCollapseRow{}, err
+				}
+				all := stats.NewDelayCDF()
+				for _, f := range run.Flows {
+					all.Merge(f.Delay)
+				}
+				return VLCollapseRow{
+					DataVLs:            v,
+					Connections:        len(run.Flows),
+					HostReservation:    run.Net.Adm.MeanHostReservation(),
+					DeadlineMetPercent: all.PercentMeetingDeadline(),
+				}, nil
+			},
+		}
 	}
-	wg.Wait()
+	rows := make([]VLCollapseRow, len(lanes))
+	for _, res := range runner.Sweep(context.Background(), jobs, runner.Options{}) {
+		rows[res.Index] = res.Value
+		if res.Err != nil {
+			rows[res.Index] = VLCollapseRow{DataVLs: lanes[res.Index], Err: res.Err}
+		}
+	}
 	return rows
 }
 

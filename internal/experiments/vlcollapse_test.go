@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestVLCollapseTable sweeps lane budgets, including budgets the
+// fabric must reject, and checks row alignment with the input.
+func TestVLCollapseTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	lanes := []int{15, 8, 4, 2} // 2 is outside the fabric's [3,15] range
+	rows := AblationVLCollapse(Tiny(), lanes)
+	if len(rows) != len(lanes) {
+		t.Fatalf("%d rows for %d lane budgets", len(rows), len(lanes))
+	}
+	for i, r := range rows {
+		if r.DataVLs != lanes[i] && r.Err == nil {
+			t.Errorf("row %d: DataVLs %d, want %d", i, r.DataVLs, lanes[i])
+		}
+	}
+	for _, r := range rows[:3] {
+		if r.Err != nil {
+			t.Fatalf("%d lanes: %v", r.DataVLs, r.Err)
+		}
+		if r.Connections <= 0 {
+			t.Errorf("%d lanes: no connections", r.DataVLs)
+		}
+		if r.HostReservation <= 0 {
+			t.Errorf("%d lanes: no reservation", r.DataVLs)
+		}
+		if r.DeadlineMetPercent < 100 {
+			t.Errorf("%d lanes: deadline met %.2f%%, want 100 (guarantees must survive collapse)",
+				r.DataVLs, r.DeadlineMetPercent)
+		}
+	}
+	// Fewer lanes tighten distances, so the identity mapping admits at
+	// least as many connections as the tightest collapse.
+	if rows[2].Connections > rows[0].Connections {
+		t.Errorf("4 lanes admitted %d > 15 lanes' %d", rows[2].Connections, rows[0].Connections)
+	}
+	// The out-of-range budget must fail loudly, not silently succeed.
+	if rows[3].Err == nil {
+		t.Error("2-lane budget accepted; fabric validation should reject it")
+	}
+
+	var buf bytes.Buffer
+	PrintVLCollapse(&buf, rows)
+	if !strings.Contains(buf.String(), "error:") {
+		t.Error("rendering hides the failed budget")
+	}
+}
+
+// TestVLCollapseRowsIndependent: each budget runs its own network; an
+// erroring budget must not disturb its neighbors' rows.
+func TestVLCollapseRowsIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	withBad := AblationVLCollapse(Tiny(), []int{2, 15})
+	alone := AblationVLCollapse(Tiny(), []int{15})
+	if withBad[0].Err == nil {
+		t.Fatal("bad budget accepted")
+	}
+	if withBad[1].Err != nil {
+		t.Fatalf("good budget failed next to bad one: %v", withBad[1].Err)
+	}
+	if withBad[1] != alone[0] {
+		t.Errorf("row changed by neighboring failure:\n%+v\n%+v", withBad[1], alone[0])
+	}
+}

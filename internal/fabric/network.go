@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/arbtable"
+	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/sl"
@@ -95,7 +96,48 @@ type Network struct {
 	// destination host (after the flow statistics update).  The
 	// transport layer hooks message reassembly here.
 	OnDeliver func(*Packet)
+
+	// Metrics, when non-nil, receives fabric-wide observability
+	// counters (per-VL bytes arbitrated, scan lengths, stalls, queue
+	// depths, deadline misses).  Attach with EnableMetrics before
+	// Start; nil keeps the hot path free of metered work beyond one
+	// branch per site.
+	Metrics *metrics.Metrics
 }
+
+// EnableMetrics attaches a counter set to the network and its
+// arbiters, returning it.  Idempotent; call before Start.
+func (n *Network) EnableMetrics() *metrics.Metrics {
+	if n.Metrics == nil {
+		n.Metrics = metrics.New()
+		for _, h := range n.hosts {
+			h.out.arb.SetMetrics(&n.Metrics.Arb)
+		}
+		for _, s := range n.switches {
+			for p := range s.out {
+				s.out[p].arb.SetMetrics(&n.Metrics.Arb)
+			}
+		}
+	}
+	return n.Metrics
+}
+
+// EnableTrace attaches a ring buffer holding the last events
+// arbitration decisions to the engine, returning it.  Each pick
+// records (time, port, VL, entry, weight-left); ports are encoded per
+// HostTraceID and SwitchTraceID.
+func (n *Network) EnableTrace(events int) *metrics.TraceBuffer {
+	if n.Engine.Trace == nil {
+		n.Engine.Trace = metrics.NewTraceBuffer(events)
+	}
+	return n.Engine.Trace
+}
+
+// HostTraceID encodes host h's output interface for trace events.
+func HostTraceID(h int) int32 { return int32(-(h + 1)) }
+
+// SwitchTraceID encodes switch s's output port p for trace events.
+func SwitchTraceID(s, p int) int32 { return int32(s*topology.SwitchPorts + p) }
 
 // Validate checks a configuration for values that would corrupt the
 // simulation (zero payload, zero buffers, non-positive speedup, ...).
@@ -470,6 +512,17 @@ func (n *Network) tryHost(h int) {
 	pkt := host.queues[vl][0]
 	host.queues[vl] = host.queues[vl][1:]
 	host.qLen[vl]--
+	if m := n.Metrics; m != nil {
+		m.AddVLBytes(vl, pkt.Wire)
+		m.ObserveQueueDepth(int64(host.qLen[vl]))
+	}
+	if t := n.Engine.Trace; t != nil {
+		lp := host.out.arb.Last()
+		t.Record(metrics.TraceEvent{
+			Time: now, Port: HostTraceID(h), VL: uint8(vl),
+			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
+		})
+	}
 	n.transmit(&host.out, pkt, nil, func() { n.kickHost(h) })
 }
 
@@ -576,6 +629,17 @@ func (n *Network) trySwitch(s, p int) {
 	in := &node.in[i]
 	pkt := in.queues[vl][0]
 	in.queues[vl] = in.queues[vl][1:]
+	if m := n.Metrics; m != nil {
+		m.AddVLBytes(vl, pkt.Wire)
+		m.ObserveQueueDepth(int64(len(in.queues[vl])))
+	}
+	if t := n.Engine.Trace; t != nil {
+		lp := out.arb.Last()
+		t.Record(metrics.TraceEvent{
+			Time: now, Port: SwitchTraceID(s, p), VL: uint8(vl),
+			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
+		})
+	}
 	out.rr[vl] = (i + 1) % topology.SwitchPorts
 	xfer := int64(pkt.Wire) / int64(n.Cfg.CrossbarSpeedup)
 	if xfer < 1 {
@@ -655,6 +719,7 @@ func (n *Network) deliver(pkt *Packet) {
 	if f.QoS && f.Deadline > 0 {
 		delay := now - pkt.Injected
 		f.Delay.Add(float64(delay) / float64(f.Deadline))
+		n.Metrics.CountDelivery(delay > f.Deadline)
 	}
 	if f.lastArrival >= 0 && f.IAT > 0 {
 		dev := float64(now-f.lastArrival-f.IAT) / float64(f.IAT)

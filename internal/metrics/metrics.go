@@ -1,0 +1,211 @@
+// Package metrics provides the observability primitives of the
+// simulation harness: cheap counters, gauges and histograms for the
+// arbitration hot path, and a fixed-size ring buffer for arbitration
+// trace events (post-mortem inspection of scheduling decisions).
+//
+// Everything here is designed around two constraints:
+//
+//   - Zero allocation and near-zero cost when disabled.  All update
+//     methods are nil-safe: calling them on a nil receiver is a no-op,
+//     so models hold a possibly-nil pointer and call unconditionally
+//     through one predictable branch.
+//   - Single-goroutine updates.  A simulation engine and everything it
+//     drives run on one goroutine, so counters are plain integers, not
+//     atomics.  Independent runs own independent Metrics; aggregation
+//     across runs happens after the engines stop.
+package metrics
+
+import "math/bits"
+
+// NumVLs mirrors the number of InfiniBand virtual lanes; kept local so
+// this package stays a leaf dependency of the model packages.
+const NumVLs = 16
+
+// ArbCounters counts weighted round-robin arbiter activity.  All
+// arbiters of one network share a single ArbCounters, so the totals
+// describe the whole fabric's scheduling work.
+type ArbCounters struct {
+	// Picks is the number of scheduling decisions that selected a VL.
+	Picks int64
+	// EntriesVisited is the total number of table entries examined
+	// across all picks (both tables); EntriesVisited/Picks is the mean
+	// scan length, the hot-path cost the fill-in algorithm's placement
+	// quality controls.
+	EntriesVisited int64
+	// Stalls counts arbitration passes that walked the tables and
+	// found nothing schedulable (no eligible packet, or no credit).
+	Stalls int64
+}
+
+// VLCounters meters traffic scheduled on one virtual lane.
+type VLCounters struct {
+	Bytes   int64
+	Packets int64
+}
+
+// Hist is a power-of-two-bucket histogram for small non-negative
+// integer observations (queue depths, scan lengths).  Bucket 0 counts
+// zeros; bucket i counts values v with 2^(i-1) <= v < 2^i; the last
+// bucket is an open tail.  Fixed-size, so observing allocates nothing.
+type Hist struct {
+	Counts [16]int64
+	N      int64
+	Sum    int64
+	Max    int64
+}
+
+// Observe records one value.  Negative values clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h == nil || h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Metrics is the counter set of one simulated network.  The zero value
+// is ready to use; a nil *Metrics disables every update at one branch
+// of cost.
+type Metrics struct {
+	Arb ArbCounters
+	VL  [NumVLs]VLCounters
+
+	// QueueDepth observes the source queue depth at every arbitration
+	// pick (packets waiting behind the one scheduled).
+	QueueDepth Hist
+
+	// DeadlineMisses counts measured QoS packets delivered after their
+	// end-to-end deadline.  Deliveries counts all measured deliveries,
+	// giving the miss rate a denominator.
+	DeadlineMisses int64
+	Deliveries    int64
+}
+
+// New returns an empty, enabled Metrics.
+func New() *Metrics { return &Metrics{} }
+
+// AddVLBytes meters one packet scheduled on vl.  No-op on nil.
+func (m *Metrics) AddVLBytes(vl int, bytes int) {
+	if m == nil || vl < 0 || vl >= NumVLs {
+		return
+	}
+	m.VL[vl].Bytes += int64(bytes)
+	m.VL[vl].Packets++
+}
+
+// ObserveQueueDepth records a source queue depth at pick time.
+func (m *Metrics) ObserveQueueDepth(depth int64) {
+	if m == nil {
+		return
+	}
+	m.QueueDepth.Observe(depth)
+}
+
+// CountDelivery records a measured delivery and whether it missed its
+// deadline.
+func (m *Metrics) CountDelivery(missed bool) {
+	if m == nil {
+		return
+	}
+	m.Deliveries++
+	if missed {
+		m.DeadlineMisses++
+	}
+}
+
+// VLSnapshot is the exported form of one lane's traffic counters.
+type VLSnapshot struct {
+	VL      int   `json:"vl"`
+	Bytes   int64 `json:"bytes"`
+	Packets int64 `json:"packets"`
+}
+
+// HistSnapshot is the exported form of a histogram.
+type HistSnapshot struct {
+	Counts []int64 `json:"counts"`
+	N      int64   `json:"n"`
+	Mean   float64 `json:"mean"`
+	Max    int64   `json:"max"`
+}
+
+// Snapshot is a self-describing, JSON-friendly copy of a Metrics,
+// with the derived ratios the counters exist to answer.
+type Snapshot struct {
+	Picks              int64   `json:"picks"`
+	EntriesVisited     int64   `json:"entriesVisited"`
+	MeanEntriesPerPick float64 `json:"meanEntriesPerPick"`
+	Stalls             int64   `json:"stalls"`
+
+	PerVL []VLSnapshot `json:"perVL"` // lanes with traffic only
+
+	QueueDepth HistSnapshot `json:"queueDepth"`
+
+	Deliveries     int64   `json:"deliveries"`
+	DeadlineMisses int64   `json:"deadlineMisses"`
+	MissPercent    float64 `json:"missPercent"`
+}
+
+// Snapshot exports the counters.  Safe on nil (returns the zero
+// snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Picks:          m.Arb.Picks,
+		EntriesVisited: m.Arb.EntriesVisited,
+		Stalls:         m.Arb.Stalls,
+		Deliveries:     m.Deliveries,
+		DeadlineMisses: m.DeadlineMisses,
+		QueueDepth: HistSnapshot{
+			Counts: trimTail(m.QueueDepth.Counts[:]),
+			N:      m.QueueDepth.N,
+			Mean:   m.QueueDepth.Mean(),
+			Max:    m.QueueDepth.Max,
+		},
+	}
+	if s.Picks > 0 {
+		s.MeanEntriesPerPick = float64(s.EntriesVisited) / float64(s.Picks)
+	}
+	if s.Deliveries > 0 {
+		s.MissPercent = 100 * float64(s.DeadlineMisses) / float64(s.Deliveries)
+	}
+	for vl, c := range m.VL {
+		if c.Packets == 0 {
+			continue
+		}
+		s.PerVL = append(s.PerVL, VLSnapshot{VL: vl, Bytes: c.Bytes, Packets: c.Packets})
+	}
+	return s
+}
+
+// trimTail copies counts up to the last non-zero bucket, so snapshots
+// of lightly loaded runs stay compact.
+func trimTail(counts []int64) []int64 {
+	last := 0
+	for i, c := range counts {
+		if c != 0 {
+			last = i + 1
+		}
+	}
+	return append([]int64(nil), counts[:last]...)
+}

@@ -1,0 +1,160 @@
+// Package runner fans independent simulation configurations out
+// across a bounded pool of worker goroutines.  Each simulation engine
+// is strictly single-goroutine (see package sim); the parallelism of
+// the harness comes from running many independent engines at once, one
+// per configuration.  The runner guarantees:
+//
+//   - results return in input order, regardless of completion order,
+//     so a parallel sweep is a drop-in replacement for a sequential
+//     loop and produces bit-identical aggregates;
+//   - deterministic seeding: DeriveSeed gives every configuration a
+//     stable pseudo-independent seed from a base seed and its index,
+//     independent of worker count and scheduling;
+//   - panic isolation: a panicking configuration is reported in its
+//     Result (with the stack) instead of killing the sweep;
+//   - bounded concurrency and context cancellation: at most Workers
+//     jobs run at once, and jobs not yet started when the context is
+//     canceled return the context error without running.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one configuration of a sweep.  Run receives the job's seed so
+// closures need not capture it.
+type Job[T any] struct {
+	Name string
+	Seed int64
+	Run  func(ctx context.Context, seed int64) (T, error)
+}
+
+// Result is the outcome of one job, reported at the job's input index.
+type Result[T any] struct {
+	Index   int
+	Name    string
+	Seed    int64
+	Value   T
+	Err     error
+	Panic   string // non-empty when the job panicked; Err is set too
+	Elapsed time.Duration
+}
+
+// Options tunes a sweep.
+type Options struct {
+	// Workers bounds concurrency; <= 0 selects the package default
+	// (SetDefaultWorkers, falling back to GOMAXPROCS).
+	Workers int
+}
+
+// defaultWorkers holds the -parallel override; 0 means GOMAXPROCS.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the pool size used when Options.Workers is
+// unset.  n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the effective default pool size.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DeriveSeed maps (base, index) to a stable, well-mixed seed via a
+// splitmix64 step, so the configurations of one sweep get
+// pseudo-independent randomness that never depends on worker count.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Sweep runs every job and returns their results in input order.  It
+// blocks until all started jobs have finished; jobs that had not
+// started when ctx was canceled are reported with ctx.Err() and never
+// run.
+func Sweep[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = execute(ctx, i, jobs[i])
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed out as canceled.  i was
+			// not handed out either.
+			for k := i; k < len(jobs); k++ {
+				results[k] = Result[T]{Index: k, Name: jobs[k].Name, Seed: jobs[k].Seed, Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+	return results
+}
+
+// execute runs one job with panic capture.
+func execute[T any](ctx context.Context, i int, job Job[T]) (res Result[T]) {
+	res = Result[T]{Index: i, Name: job.Name, Seed: job.Seed}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			res.Panic = fmt.Sprintf("%v\n%s", r, debug.Stack())
+			res.Err = fmt.Errorf("runner: job %d (%s) panicked: %v", i, job.Name, r)
+		}
+	}()
+	res.Value, res.Err = job.Run(ctx, job.Seed)
+	return res
+}
+
+// FirstError returns the first non-nil job error, in input order, or
+// nil when the whole sweep succeeded.
+func FirstError[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}

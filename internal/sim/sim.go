@@ -7,7 +7,11 @@
 // configuration.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"repro/internal/metrics"
+)
 
 // Engine is a discrete-event scheduler.  The zero value is ready to
 // use.  It is not safe for concurrent use.
@@ -21,6 +25,13 @@ type Engine struct {
 	// current event; it runs FIFO at the same timestamp without
 	// touching the heap.
 	deferred []func()
+
+	// Trace, when non-nil, is the event-trace ring the models driven
+	// by this engine record their scheduling decisions into (the
+	// fabric writes one TraceEvent per arbitration pick).  The engine
+	// carries the buffer so every model sharing the engine shares one
+	// time-ordered trace; nil disables tracing at a single branch.
+	Trace *metrics.TraceBuffer
 }
 
 type event struct {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's full verification gate.
+#
+#   vet        static checks
+#   build      every package compiles
+#   race tests the whole suite under the race detector (the parallel
+#              sweep runner makes this the load-bearing pass)
+#   fuzz smoke a short coverage-guided run of each internal/core fuzz
+#              target on top of the checked-in seed corpus
+#
+# Usage: scripts/ci.sh [--no-fuzz]
+#   FUZZTIME=30s scripts/ci.sh   # longer fuzz smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+RUN_FUZZ=1
+if [[ "${1:-}" == "--no-fuzz" ]]; then
+    RUN_FUZZ=0
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+# The experiments suite runs whole simulation sweeps; under the race
+# detector on a small machine that legitimately exceeds go test's
+# default 10m budget.
+go test -race -timeout=60m ./...
+
+if [[ "$RUN_FUZZ" -eq 1 ]]; then
+    # -fuzz takes one target per invocation; -run='^$' skips the unit
+    # tests already covered by the race pass.
+    for target in FuzzAllocatorTrace FuzzShape; do
+        echo "==> fuzz smoke: $target ($FUZZTIME)"
+        go test ./internal/core -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME"
+    done
+fi
+
+echo "==> ci.sh: all green"
