@@ -99,6 +99,23 @@ func emitMetrics(w io.Writer, ev *experiments.Evaluation) error {
 	return encodeIndented(w, dumpEvaluation(ev))
 }
 
+// churnReport is the machine-readable form of a churn sweep.
+type churnReport struct {
+	Switches int                       `json:"switches"`
+	BaseSeed int64                     `json:"baseSeed"`
+	Arrivals int                       `json:"arrivals"`
+	Runs     []experiments.ChurnResult `json:"runs"`
+}
+
+func emitChurnJSON(w io.Writer, base experiments.ChurnParams, res []experiments.ChurnResult) error {
+	return encodeIndented(w, churnReport{
+		Switches: base.Switches,
+		BaseSeed: base.Seed,
+		Arrivals: base.Arrivals,
+		Runs:     res,
+	})
+}
+
 func encodeIndented(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -9,7 +9,10 @@
 //
 // Experiments: table1, table2, figure4, figure5, figure6,
 // ablation-priority, ablation-fill, ablation-vl, ablation-switch,
-// scaling, all.
+// scaling, churn, all.
+//
+//	ibsim -exp churn -churn-seeds 8   # connection churn with in-band
+//	                                  # table reprogramming (JSON)
 package main
 
 import (
@@ -27,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|all")
 		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
 		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
 		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
@@ -38,6 +41,7 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "worker goroutines for sweeps (0 = GOMAXPROCS)")
 		withMetrics = flag.Bool("metrics", false, "collect per-port arbitration metrics and append a JSON dump")
 		traceEvents = flag.Int("trace", 0, "record the last N arbitration decisions per run (implies -metrics)")
+		churnSeeds  = flag.Int("churn-seeds", 4, "independent seeds for -exp churn")
 	)
 	flag.Parse()
 
@@ -95,6 +99,23 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintReconfig(os.Stdout, res)
+	case "churn":
+		base := churnParams(*scale)
+		if *seed != 0 {
+			base.Seed = *seed
+		}
+		if *switches != 0 {
+			base.Switches = *switches
+		}
+		res, err := experiments.ChurnSweep(base, *churnSeeds, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintChurn(os.Stdout, res)
+		fmt.Println()
+		if err := emitChurnJSON(os.Stdout, base, res); err != nil {
+			fatal(err)
+		}
 	case "scaling":
 		ns, err := parseSizes(*sizes)
 		if err != nil {
@@ -179,6 +200,14 @@ func params(scale string) (experiments.Params, error) {
 		return experiments.Full(), nil
 	}
 	return experiments.Params{}, fmt.Errorf("unknown scale %q", scale)
+}
+
+// churnParams maps a scale preset onto the churn experiment.
+func churnParams(scale string) experiments.ChurnParams {
+	if scale == "tiny" {
+		return experiments.ChurnTiny()
+	}
+	return experiments.ChurnQuick()
 }
 
 func parseSizes(s string) ([]int, error) {

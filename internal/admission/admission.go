@@ -2,13 +2,27 @@
 // request is studied at every arbitration point on its path — the
 // source host interface and each switch output port — and accepted
 // only when all of them can reserve the requested weight at the
-// service level's table distance (paper section 4.2).  On acceptance
-// the weight is written into the arbitration tables (joining an
-// existing sequence of the same VL when one has room); a failure at
-// any hop rolls back the hops already reserved.
+// service level's table distance (paper section 4.2).
+//
+// Admission is a two-phase transaction across the path:
+//
+//   - Prepare: every hop reserves the weight on its shadow
+//     (control-plane) table.  A hop that is over budget, out of table
+//     space, or currently mid-reprogram (ErrHopBusy) fails the
+//     transaction.
+//   - Abort: on failure the hops already reserved are rolled back in
+//     reverse order of acquisition, without defragmentation, restoring
+//     each shadow table byte-identically; invariants are re-checked at
+//     every rolled-back hop.
+//   - Commit: on success each hop's shadow/active difference is turned
+//     into a Delta of changed 16-entry blocks and handed to the
+//     controller's Programmer, which delivers it to the data plane —
+//     synchronously (DirectProgrammer) or as simulated SMPs with MAD
+//     latency (subnet.InbandProgrammer).
 package admission
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/arbtable"
@@ -18,6 +32,62 @@ import (
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// ErrHopBusy marks an admission rejected because a hop on the path is
+// being reprogrammed: its previous delta is still in flight and its
+// next table version is not yet settled.  Callers retry with backoff
+// (AdmitWithRetry) rather than treating it as lack of capacity.
+var ErrHopBusy = errors.New("admission: hop mid-reprogram")
+
+// PortID names one arbitration point of the fabric, so programmers can
+// attribute costs (hop distance from the subnet manager) to the port a
+// delta is for.
+type PortID struct {
+	Host   int // host index, or -1 for a switch port
+	Switch int // switch index, or -1 for a host interface
+	Port   int // output port within the switch
+}
+
+// HostPortID returns the PortID of host h's injection interface.
+func HostPortID(h int) PortID { return PortID{Host: h, Switch: -1, Port: -1} }
+
+// SwitchPortID returns the PortID of switch s's output port q.
+func SwitchPortID(s, q int) PortID { return PortID{Host: -1, Switch: s, Port: q} }
+
+// String implements fmt.Stringer.
+func (id PortID) String() string {
+	if id.Host >= 0 {
+		return fmt.Sprintf("host %d", id.Host)
+	}
+	return fmt.Sprintf("switch %d port %d", id.Switch, id.Port)
+}
+
+// Programmer carries committed deltas from the control plane to a
+// port's data plane.  Implementations must eventually deliver every
+// block of the delta to pt.DeliverBlock (in any order), and — when the
+// port's shadow table changed again in the meantime — chain a new
+// BeginProgram once the delta has been applied.
+type Programmer interface {
+	Program(id PortID, pt *core.PortTable, d core.Delta) error
+}
+
+// DirectProgrammer applies deltas synchronously: every block is
+// delivered the moment the transaction commits, modeling free,
+// instantaneous reconfiguration.  It is the default, and keeps the
+// batch experiments' semantics: after Admit returns, the data plane
+// already matches the control plane.
+type DirectProgrammer struct{}
+
+// Program implements Programmer.
+func (DirectProgrammer) Program(id PortID, pt *core.PortTable, d core.Delta) error {
+	total := len(d.Blocks)
+	for _, b := range d.Blocks {
+		if _, err := pt.DeliverBlock(d.Version, b.Index, total, b.Entries); err != nil {
+			return fmt.Errorf("programming %v: %w", id, err)
+		}
+	}
+	return nil
+}
 
 // Ports owns one arbitration table per output port of the network:
 // one per host (the host channel adapter's injection port) and one per
@@ -50,6 +120,7 @@ func NewPorts(topo *topology.Topology, limit uint8) *Ports {
 
 // hop identifies one arbitration point on a path.
 type hop struct {
+	id    PortID
 	table *core.PortTable
 	res   core.Reservation
 }
@@ -100,6 +171,10 @@ type Controller struct {
 
 	nextID int
 	live   map[int]*Conn
+
+	// prog delivers committed deltas to the data plane; defaults to
+	// DirectProgrammer (synchronous, free reconfiguration).
+	prog Programmer
 }
 
 // NewController returns a controller over the given network state.
@@ -113,7 +188,18 @@ func NewController(topo *topology.Topology, routes *routing.Routes, mapping sl.M
 		WireFactor: 1.0,
 		PacketWire: 4096 + sl.HeaderBytes, // conservative: largest IBA MTU
 		live:       make(map[int]*Conn),
+		prog:       DirectProgrammer{},
 	}
+}
+
+// SetProgrammer replaces the delta programmer (nil restores the
+// synchronous default).  Use subnet.NewInbandProgrammer to make
+// reconfiguration cost simulated MAD traffic instead of being free.
+func (c *Controller) SetProgrammer(p Programmer) {
+	if p == nil {
+		p = DirectProgrammer{}
+	}
+	c.prog = p
 }
 
 // Ports exposes the port tables (the fabric simulator wires its
@@ -123,24 +209,36 @@ func (c *Controller) Ports() *Ports { return c.ports }
 // Live returns the number of admitted connections.
 func (c *Controller) Live() int { return len(c.live) }
 
-// pathTables returns the arbitration points of a route in order: the
+// site is one arbitration point of a path: its identity plus its
+// table.
+type site struct {
+	id    PortID
+	table *core.PortTable
+}
+
+// pathSites returns the arbitration points of a route in order: the
 // source host interface, then each switch's output port along the
 // path (the last one being the destination host port).
-func (c *Controller) pathTables(src, dst int) ([]*core.PortTable, error) {
+func (c *Controller) pathSites(src, dst int) ([]site, error) {
 	switches, err := c.routes.PathSwitches(src, dst)
 	if err != nil {
 		return nil, err
 	}
-	tables := []*core.PortTable{c.ports.Host[src]}
+	sites := []site{{id: HostPortID(src), table: c.ports.Host[src]}}
 	for _, sw := range switches {
 		port := c.routes.NextPort(sw, dst)
-		tables = append(tables, c.ports.Switch[sw][port])
+		sites = append(sites, site{id: SwitchPortID(sw, port), table: c.ports.Switch[sw][port]})
 	}
-	return tables, nil
+	return sites, nil
 }
 
-// Admit studies a request at every arbitration point on its path and
-// either reserves it everywhere or leaves all tables untouched.
+// Admit runs the two-phase admission transaction: every arbitration
+// point on the path prepares the reservation on its shadow table, and
+// only when all of them succeed are the resulting table deltas
+// committed to the data plane through the controller's Programmer.  On
+// any prepare failure the transaction aborts and all tables are left
+// byte-identical to their pre-Admit state.  A hop whose previous delta
+// is still in flight fails prepare with an error wrapping ErrHopBusy.
 func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 	if err := req.Validate(c.topo.NumHosts()); err != nil {
 		return nil, err
@@ -151,7 +249,7 @@ func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 	if d, ok := c.Distances[req.Level.SL]; ok {
 		distance = d
 	}
-	tables, err := c.pathTables(req.Src, req.Dst)
+	sites, err := c.pathSites(req.Src, req.Dst)
 	if err != nil {
 		return nil, err
 	}
@@ -160,42 +258,82 @@ func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 		ID:     c.nextID,
 		Req:    req,
 		Weight: weight,
-		Hops:   len(tables),
+		Hops:   len(sites),
 	}
 	conn.Deadline = int64(conn.Hops) * sl.HopDeadlineByteTimes(req.Level.Distance, c.PacketWire)
 
-	for i, tb := range tables {
+	// Phase 1: prepare on the shadow tables.
+	for i, st := range sites {
+		tb := st.table
+		if tb.Programming() {
+			c.abort(conn)
+			return nil, fmt.Errorf("admission: hop %d/%d (%v): %w", i+1, len(sites), st.id, ErrHopBusy)
+		}
 		if tb.ReservedWeight()+weight > c.Budget {
-			c.rollback(conn)
+			c.abort(conn)
 			return nil, fmt.Errorf("admission: hop %d/%d over budget (%d + %d > %d)",
-				i+1, len(tables), tb.ReservedWeight(), weight, c.Budget)
+				i+1, len(sites), tb.ReservedWeight(), weight, c.Budget)
 		}
 		res, err := tb.Reserve(vl, distance, weight)
 		if err != nil {
-			c.rollback(conn)
-			return nil, fmt.Errorf("admission: hop %d/%d: %w", i+1, len(tables), err)
+			c.abort(conn)
+			return nil, fmt.Errorf("admission: hop %d/%d: %w", i+1, len(sites), err)
 		}
-		conn.hops = append(conn.hops, hop{table: tb, res: res})
+		conn.hops = append(conn.hops, hop{id: st.id, table: tb, res: res})
+	}
+
+	// Phase 2: commit — emit one delta per hop to the data plane.
+	for _, h := range conn.hops {
+		c.commitHop(h.id, h.table)
 	}
 	c.nextID++
 	c.live[conn.ID] = conn
 	return conn, nil
 }
 
-// rollback releases the hops reserved so far for a failed admission.
-func (c *Controller) rollback(conn *Conn) {
-	for _, h := range conn.hops {
-		// Release cannot fail for reservations we just made.
-		if err := h.table.Release(h.res); err != nil {
-			panic(fmt.Sprintf("admission: rollback failed: %v", err))
+// commitHop turns a hop's shadow/active difference into a delta and
+// hands it to the programmer.  A port already mid-reprogram is left
+// alone: its in-flight programmer observes the still-dirty shadow when
+// the current delta lands and chains the next transaction itself.
+func (c *Controller) commitHop(id PortID, tb *core.PortTable) {
+	if tb.Programming() {
+		return
+	}
+	d, err := tb.BeginProgram()
+	if err != nil || len(d.Blocks) == 0 {
+		return
+	}
+	if err := c.prog.Program(id, tb, d); err != nil {
+		// The shadow reservation is in place but the data plane refused
+		// the delta; this is a protocol bug, not a recoverable
+		// condition.
+		panic(fmt.Sprintf("admission: committing %v: %v", id, err))
+	}
+}
+
+// abort rolls back the hops reserved so far for a failed admission, in
+// reverse order of acquisition, and re-checks every touched hop's
+// allocator invariants.  Rollback never defragments, so each shadow
+// table is restored byte-identically to its pre-Admit state.
+func (c *Controller) abort(conn *Conn) {
+	for i := len(conn.hops) - 1; i >= 0; i-- {
+		h := conn.hops[i]
+		// Rollback cannot fail for reservations we just made.
+		if err := h.table.Rollback(h.res); err != nil {
+			panic(fmt.Sprintf("admission: rollback at %v failed: %v", h.id, err))
+		}
+		if err := h.table.Allocator().CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("admission: invariants broken after rollback at %v: %v", h.id, err))
 		}
 	}
 	conn.hops = nil
 }
 
-// Release tears down an admitted connection, deducting its weight at
-// every hop; entries whose accumulated weight reaches zero are freed
-// and the tables defragmented.
+// Release tears down an admitted connection as a committed
+// transaction: its weight is deducted from every hop's shadow table
+// (entries whose accumulated weight reaches zero are freed and the
+// shadow defragmented), then each hop's delta is programmed to the
+// data plane.
 func (c *Controller) Release(conn *Conn) error {
 	if _, ok := c.live[conn.ID]; !ok {
 		return fmt.Errorf("admission: connection %d not live", conn.ID)
@@ -204,6 +342,9 @@ func (c *Controller) Release(conn *Conn) error {
 		if err := h.table.Release(h.res); err != nil {
 			return fmt.Errorf("admission: releasing connection %d: %w", conn.ID, err)
 		}
+	}
+	for _, h := range conn.hops {
+		c.commitHop(h.id, h.table)
 	}
 	delete(c.live, conn.ID)
 	return nil

@@ -1,0 +1,46 @@
+package admission
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// RetryPolicy bounds the retry loop of AdmitWithRetry: up to Attempts
+// tries, the k-th retry waiting BackoffBT<<(k-1) byte times (bounded
+// exponential backoff on the simulated clock).
+type RetryPolicy struct {
+	Attempts  int
+	BackoffBT int64
+}
+
+// DefaultRetryPolicy suits churn workloads: a handful of retries
+// starting at roughly one MAD round trip.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{Attempts: 6, BackoffBT: 1024} }
+
+// AdmitWithRetry attempts an admission on the simulated clock,
+// retrying with exponential backoff while the only obstacle is a hop
+// whose table program is still in flight (ErrHopBusy).  Any other
+// failure — or exhausting the policy's attempts — is final.  done is
+// invoked exactly once, from an engine event (or synchronously when
+// the first attempt settles the outcome), with the admitted connection
+// or the final error.
+func (c *Controller) AdmitWithRetry(eng *sim.Engine, req traffic.Request, rp RetryPolicy, done func(*Conn, error)) {
+	if rp.Attempts < 1 {
+		rp.Attempts = 1
+	}
+	if rp.BackoffBT < 1 {
+		rp.BackoffBT = 1
+	}
+	var attempt func(k int)
+	attempt = func(k int) {
+		conn, err := c.Admit(req)
+		if err == nil || !errors.Is(err, ErrHopBusy) || k+1 >= rp.Attempts {
+			done(conn, err)
+			return
+		}
+		eng.After(rp.BackoffBT<<k, func() { attempt(k + 1) })
+	}
+	attempt(0)
+}

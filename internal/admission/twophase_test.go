@@ -1,0 +1,189 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// portSnapshot captures everything admission may touch on one port,
+// rendered to strings so comparison is byte-exact.
+type portSnapshot struct {
+	shadow   string
+	active   string
+	low      string
+	reserved int
+	seqs     []string
+}
+
+func snap(pt *core.PortTable) portSnapshot {
+	sh := pt.Allocator().Table()
+	s := portSnapshot{
+		shadow:   fmt.Sprintf("%v", sh.High),
+		active:   fmt.Sprintf("%v", pt.Active().High),
+		low:      fmt.Sprintf("%v", sh.Low),
+		reserved: pt.ReservedWeight(),
+	}
+	for _, q := range pt.Allocator().Sequences() {
+		s.seqs = append(s.seqs, q.String())
+	}
+	return s
+}
+
+// TestAbortAtLastHopLeavesEarlierHopsUntouched drives the two-phase
+// protocol to its abort path: a 3-hop admission (source host
+// interface, source switch uplink, destination switch downlink) whose
+// LAST hop has no capacity left.  The first two hops prepared
+// successfully; the abort must roll them back to byte-identical
+// pre-Admit state.
+func TestAbortAtLastHopLeavesEarlierHopsUntouched(t *testing.T) {
+	c, topo := newController(t, 2, 3)
+	dst := topo.NumHosts() - 1 // a host on switch 1
+
+	// Saturate the destination switch's port to dst from a host on the
+	// same switch (2-hop paths: they never touch switch 0's tables).
+	for i := 0; i < 40; i++ {
+		if _, err := c.Admit(req(4, dst, 9, 64)); err != nil {
+			break
+		}
+	}
+	if _, err := c.Admit(req(4, dst, 9, 64)); err == nil {
+		t.Fatal("destination port still has capacity; saturation failed")
+	}
+
+	sites, err := c.pathSites(0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 3 {
+		t.Fatalf("path 0->%d has %d arbitration points, want 3", dst, len(sites))
+	}
+	before := make([]portSnapshot, len(sites))
+	for i, s := range sites {
+		before[i] = snap(s.table)
+	}
+
+	if _, err := c.Admit(req(0, dst, 9, 64)); err == nil {
+		t.Fatal("admission over the saturated last hop succeeded")
+	}
+
+	for i, s := range sites {
+		after := snap(s.table)
+		if after.shadow != before[i].shadow {
+			t.Errorf("hop %d (%v): shadow table changed across aborted admission", i, s.id)
+		}
+		if after.active != before[i].active {
+			t.Errorf("hop %d (%v): active table changed across aborted admission", i, s.id)
+		}
+		if after.low != before[i].low {
+			t.Errorf("hop %d (%v): low table changed across aborted admission", i, s.id)
+		}
+		if after.reserved != before[i].reserved {
+			t.Errorf("hop %d (%v): reserved weight %d, want %d", i, s.id, after.reserved, before[i].reserved)
+		}
+		if len(after.seqs) != len(before[i].seqs) {
+			t.Errorf("hop %d (%v): %d sequences, want %d", i, s.id, len(after.seqs), len(before[i].seqs))
+			continue
+		}
+		for k := range after.seqs {
+			if after.seqs[k] != before[i].seqs[k] {
+				t.Errorf("hop %d (%v): sequence %d = %s, want %s", i, s.id, k, after.seqs[k], before[i].seqs[k])
+			}
+		}
+		if err := s.table.Allocator().CheckInvariants(); err != nil {
+			t.Errorf("hop %d (%v): %v", i, s.id, err)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// captureProgrammer opens transactions but holds the SMPs: ports stay
+// mid-reprogram until the test releases the captured deltas, like MADs
+// sitting on the wire.
+type captureProgrammer struct {
+	held []struct {
+		pt *core.PortTable
+		d  core.Delta
+	}
+}
+
+func (p *captureProgrammer) Program(id PortID, pt *core.PortTable, d core.Delta) error {
+	p.held = append(p.held, struct {
+		pt *core.PortTable
+		d  core.Delta
+	}{pt, d})
+	return nil
+}
+
+func (p *captureProgrammer) release() error {
+	for _, h := range p.held {
+		for _, b := range h.d.Blocks {
+			if _, err := h.pt.DeliverBlock(h.d.Version, b.Index, len(h.d.Blocks), b.Entries); err != nil {
+				return err
+			}
+		}
+	}
+	p.held = nil
+	return nil
+}
+
+func TestAdmitRejectsBusyHop(t *testing.T) {
+	c, topo := newController(t, 2, 4)
+	prog := &captureProgrammer{}
+	c.SetProgrammer(prog)
+	if _, err := c.Admit(req(0, topo.NumHosts()-1, 9, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ports().Host[0].Programming() {
+		t.Fatal("held programmer did not leave the port mid-reprogram")
+	}
+	_, err := c.Admit(req(0, topo.NumHosts()-1, 9, 32))
+	if !errors.Is(err, ErrHopBusy) {
+		t.Fatalf("admission through a mid-reprogram hop = %v, want ErrHopBusy", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdmitWithRetrySucceedsAfterProgramLands(t *testing.T) {
+	c, topo := newController(t, 2, 5)
+	prog := &captureProgrammer{}
+	c.SetProgrammer(prog)
+	if _, err := c.Admit(req(0, topo.NumHosts()-1, 9, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ports().Host[0].Programming() {
+		t.Fatal("port should be mid-reprogram")
+	}
+
+	eng := &sim.Engine{}
+	// The held SMPs land at t=5000; until then every retry hits
+	// ErrHopBusy and backs off.
+	eng.At(5000, func() {
+		if err := prog.release(); err != nil {
+			t.Errorf("releasing held deltas: %v", err)
+		}
+	})
+
+	var got *Conn
+	var gotErr error
+	c.AdmitWithRetry(eng, req(0, topo.NumHosts()-1, 9, 32), RetryPolicy{Attempts: 8, BackoffBT: 1024}, func(conn *Conn, err error) {
+		got, gotErr = conn, err
+	})
+	eng.RunWhile(func() bool { return true })
+	if gotErr != nil {
+		t.Fatalf("retry admission failed: %v", gotErr)
+	}
+	if got == nil {
+		t.Fatal("no connection returned")
+	}
+	if eng.Now() < 5000 {
+		t.Errorf("admission resolved at t=%d, before the program landed", eng.Now())
+	}
+}

@@ -52,6 +52,12 @@ type Arbiter struct {
 
 	hiSinceLow int // high-priority bytes sent since a low-priority send
 
+	// seen is the table epoch the arbiter last scheduled under; when
+	// the table is swapped the next Pick re-anchors the high-table
+	// round-robin state.
+	seen      uint64
+	reanchors int64
+
 	// m, when non-nil, receives pick/scan/stall counters.  All ports
 	// of one network share the same counter block.
 	m *metrics.ArbCounters
@@ -77,12 +83,18 @@ func (a *Arbiter) SetMetrics(c *metrics.ArbCounters) { a.m = c }
 // is only meaningful directly after a Pick that returned ok.
 func (a *Arbiter) Last() LastPick { return a.last }
 
-// NewArbiter returns an arbiter over t.  The table may be mutated
-// between Pick calls (weights are re-read on every entry visit), which
-// is how dynamic connection establishment updates schedules.
+// NewArbiter returns an arbiter over t.  The low table may be mutated
+// in place between Pick calls (weights are re-read on every entry
+// visit); high-table changes arrive through Table.Swap, which the
+// arbiter observes at its next Pick — a packet boundary — and answers
+// with a deterministic re-anchor of its round-robin state.
 func NewArbiter(t *Table) *Arbiter {
-	return &Arbiter{table: t}
+	return &Arbiter{table: t, seen: t.Version()}
 }
+
+// Reanchors returns how many times a table swap forced the arbiter to
+// re-anchor its high-priority round-robin state.
+func (a *Arbiter) Reanchors() int64 { return a.reanchors }
 
 // Pick selects the next VL to transmit given the per-VL eligible packet
 // sizes, consumes the corresponding weight, and returns the chosen VL
@@ -103,6 +115,17 @@ func NewArbiter(t *Table) *Arbiter {
 //     residual allowance may send one packet even if the packet is
 //     larger than the residual.
 func (a *Arbiter) Pick(ready *Ready) (vl int, high bool, ok bool) {
+	if v := a.table.Version(); v != a.seen {
+		// The control plane swapped in a new high table since the last
+		// pick.  Re-anchor deterministically: keep the cursor position
+		// (the scan resumes from the same slot, preserving rotational
+		// fairness) but drop the residual allowance, which belonged to
+		// an entry of the retired epoch.
+		a.seen = v
+		a.hi.active = false
+		a.hi.residual = 0
+		a.reanchors++
+	}
 	hiCh, hiN, hiOK := peek(a.table.High[:], &a.hi, ready)
 	loCh, loN, loOK := peek(a.table.Low, &a.lo, ready)
 	if m := a.m; m != nil {

@@ -83,6 +83,29 @@ type Table struct {
 	// may send Limit*LimitUnit bytes while a low-priority packet
 	// waits.  UnlimitedHigh disables preemption.
 	Limit uint8
+
+	// version is the table's epoch: it advances exactly once per Swap,
+	// never on in-place mutation.  The arbiter compares it against the
+	// epoch it last scheduled under and re-anchors its round-robin
+	// state at the next packet boundary when they differ.
+	version uint64
+}
+
+// Version returns the table's current epoch.  A freshly constructed
+// table is at epoch 0; every Swap advances it by one.
+func (t *Table) Version() uint64 { return t.version }
+
+// Swap atomically replaces the whole high-priority table and advances
+// the epoch.  This is the only sanctioned way for the control plane to
+// change the high table of a running port: the arbiter observes the
+// new epoch at its next Pick (a packet boundary) and re-anchors its
+// weighted round-robin state there, so a schedule is never torn
+// mid-packet.  The low table is not covered: it is a plain list whose
+// in-place edits remain safe between Picks.  It returns the new epoch.
+func (t *Table) Swap(high [TableSize]Entry) uint64 {
+	t.High = high
+	t.version++
+	return t.version
 }
 
 // New returns an empty table with the given LimitOfHighPriority.

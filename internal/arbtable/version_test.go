@@ -1,0 +1,93 @@
+package arbtable
+
+import "testing"
+
+func TestSwapBumpsVersion(t *testing.T) {
+	tb := New(UnlimitedHigh)
+	if tb.Version() != 0 {
+		t.Fatalf("fresh table version = %d, want 0", tb.Version())
+	}
+	var high [TableSize]Entry
+	high[0] = Entry{VL: 2, Weight: 9}
+	if v := tb.Swap(high); v != 1 {
+		t.Errorf("first swap returned version %d, want 1", v)
+	}
+	if tb.High[0] != (Entry{VL: 2, Weight: 9}) {
+		t.Errorf("swap did not install the new table: %v", tb.High[0])
+	}
+	if v := tb.Swap(high); v != 2 || tb.Version() != 2 {
+		t.Errorf("second swap: returned %d, Version() %d, want 2", v, tb.Version())
+	}
+}
+
+// TestPickReanchorsOnSwap: a version change is observed at the next
+// Pick — a packet boundary — never mid-packet.  The residual weight of
+// the retired epoch is dropped, the cursor survives, and the arbiter
+// serves from the new table immediately.
+func TestPickReanchorsOnSwap(t *testing.T) {
+	tb := New(UnlimitedHigh)
+	tb.High[0] = Entry{VL: 1, Weight: 200}
+	a := NewArbiter(tb)
+	// Burn one pick so entry 0 is active with residual weight left.
+	if vl, _, ok := a.Pick(readyFor(WeightUnit, 1)); !ok || vl != 1 {
+		t.Fatalf("warm-up pick: vl=%d ok=%v", vl, ok)
+	}
+	if a.Reanchors() != 0 {
+		t.Fatalf("re-anchor before any swap: %d", a.Reanchors())
+	}
+
+	// The control plane swaps in a table where VL 1 is gone.
+	var high [TableSize]Entry
+	high[0] = Entry{VL: 4, Weight: 5}
+	tb.Swap(high)
+
+	// VL 1's residual allowance died with its epoch: only VL 4 wins.
+	vl, highPri, ok := a.Pick(readyFor(WeightUnit, 1, 4))
+	if !ok || vl != 4 || !highPri {
+		t.Fatalf("post-swap pick: vl=%d high=%v ok=%v, want VL 4 high", vl, highPri, ok)
+	}
+	if a.Reanchors() != 1 {
+		t.Errorf("re-anchors = %d, want 1", a.Reanchors())
+	}
+
+	// No further version change: no further re-anchors.
+	a.Pick(readyFor(WeightUnit, 4))
+	if a.Reanchors() != 1 {
+		t.Errorf("re-anchors grew to %d without a swap", a.Reanchors())
+	}
+}
+
+// TestSwapIsDeterministicMidStream: two arbiters fed the same pick
+// sequence with the same swap point make identical decisions — the
+// property the fabric's goldens rely on.
+func TestSwapIsDeterministicMidStream(t *testing.T) {
+	run := func() []int {
+		tb := New(UnlimitedHigh)
+		tb.High[0] = Entry{VL: 0, Weight: 3}
+		tb.High[1] = Entry{VL: 1, Weight: 1}
+		a := NewArbiter(tb)
+		var picks []int
+		for i := 0; i < 40; i++ {
+			if i == 17 {
+				next := tb.High
+				next[2] = Entry{VL: 2, Weight: 2}
+				tb.Swap(next)
+			}
+			vl, _, ok := a.Pick(readyFor(WeightUnit, 0, 1, 2))
+			if !ok {
+				t.Fatal("pick failed under saturation")
+			}
+			picks = append(picks, vl)
+		}
+		return picks
+	}
+	first := run()
+	for trial := 0; trial < 3; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("trial %d pick %d: %d != %d", trial, i, again[i], first[i])
+			}
+		}
+	}
+}

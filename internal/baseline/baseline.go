@@ -36,11 +36,11 @@ type LowTables struct {
 	ports  []*core.PortTable   // host interfaces, indexed by host
 	swPort [][]*core.PortTable // switch output tables
 
-	// reserved[t][vl] is the accumulated DB weight for a VL in table t.
-	reserved map[*arbtable.Table]map[uint8]int
-	// base[t] is the table's original (best-effort) low-priority
+	// reserved[pt][vl] is the accumulated DB weight for a VL at port pt.
+	reserved map[*core.PortTable]map[uint8]int
+	// base[pt] is the port's original (best-effort) low-priority
 	// entry list, kept so rebuilds do not clobber it.
-	base map[*arbtable.Table][]arbtable.Entry
+	base map[*core.PortTable][]arbtable.Entry
 
 	// Budget bounds high + low reserved weight per port.
 	Budget int
@@ -52,8 +52,8 @@ func NewLowTables(topo *topology.Topology, routes *routing.Routes, hostPorts []*
 	return &LowTables{
 		topo: topo, routes: routes,
 		ports: hostPorts, swPort: switchPorts,
-		reserved: make(map[*arbtable.Table]map[uint8]int),
-		base:     make(map[*arbtable.Table][]arbtable.Entry),
+		reserved: make(map[*core.PortTable]map[uint8]int),
+		base:     make(map[*core.PortTable][]arbtable.Entry),
 		Budget:   sl.MaxReservableWeight,
 	}
 }
@@ -85,41 +85,44 @@ func (l *LowTables) AdmitDB(req traffic.Request, vl uint8) error {
 	}
 	// Check the combined budget first so no rollback is needed.
 	for _, pt := range tables {
-		if pt.ReservedWeight()+l.lowWeight(pt.Allocator().Table())+weight > l.Budget {
+		if pt.ReservedWeight()+l.lowWeight(pt)+weight > l.Budget {
 			return fmt.Errorf("baseline: over budget")
 		}
 	}
 	for _, pt := range tables {
-		l.add(pt.Allocator().Table(), vl, weight)
+		l.add(pt, vl, weight)
 	}
 	return nil
 }
 
-// lowWeight returns the accumulated DB weight in a table.
-func (l *LowTables) lowWeight(t *arbtable.Table) int {
+// lowWeight returns the accumulated DB weight at a port.
+func (l *LowTables) lowWeight(pt *core.PortTable) int {
 	sum := 0
-	for _, w := range l.reserved[t] {
+	for _, w := range l.reserved[pt] {
 		sum += w
 	}
 	return sum
 }
 
-// add accumulates weight for a VL and rebuilds the table's low list.
-func (l *LowTables) add(t *arbtable.Table, vl uint8, weight int) {
-	if _, ok := l.base[t]; !ok {
-		l.base[t] = append([]arbtable.Entry(nil), t.Low...)
-		l.reserved[t] = make(map[uint8]int)
+// add accumulates weight for a VL and rebuilds the port's low list.
+func (l *LowTables) add(pt *core.PortTable, vl uint8, weight int) {
+	if _, ok := l.base[pt]; !ok {
+		l.base[pt] = append([]arbtable.Entry(nil), pt.Allocator().Table().Low...)
+		l.reserved[pt] = make(map[uint8]int)
 	}
-	l.reserved[t][vl] += weight
-	l.rebuild(t)
+	l.reserved[pt][vl] += weight
+	l.rebuild(pt)
 }
 
 // rebuild rewrites the low table: base best-effort entries followed by
 // the DB entries, each VL's weight split into MaxWeight-sized chunks.
-func (l *LowTables) rebuild(t *arbtable.Table) {
-	low := append([]arbtable.Entry(nil), l.base[t]...)
+// The list is installed through SetLow so both the control-plane view
+// and the active table the fabric arbiters read are updated (the low
+// table is outside the versioned-delta protocol).
+func (l *LowTables) rebuild(pt *core.PortTable) {
+	low := append([]arbtable.Entry(nil), l.base[pt]...)
 	for vl := uint8(0); vl < arbtable.NumDataVLs; vl++ {
-		w, ok := l.reserved[t][vl]
+		w, ok := l.reserved[pt][vl]
 		if !ok || w == 0 {
 			continue
 		}
@@ -132,7 +135,7 @@ func (l *LowTables) rebuild(t *arbtable.Table) {
 			w -= chunk
 		}
 	}
-	t.Low = low
+	pt.SetLow(low)
 }
 
 // TrialOp is one step of an acceptance trial: either an allocation

@@ -184,6 +184,13 @@ type Allocator struct {
 	seqs     map[SeqID]*Sequence
 	nextID   SeqID
 
+	// byVL indexes the live sequences by virtual lane, each list in
+	// ascending ID order.  It lets the sequence-sharing scan of
+	// PortTable.Reserve run without sorting or allocating: IDs are
+	// assigned in increasing order, so appending on Allocate keeps the
+	// lists sorted.
+	byVL [arbtable.NumDataVLs][]*Sequence
+
 	// moves counts sequences relocated by defragmentation over the
 	// allocator's lifetime — the table-update cost the subnet manager
 	// would pay for the paper's release discipline.
@@ -239,6 +246,18 @@ func (a *Allocator) Sequences() []*Sequence {
 	return out
 }
 
+// SequencesForVL returns the live sequences of one virtual lane in
+// ascending ID order.  The slice is the allocator's internal index —
+// callers must treat it as read-only and must not hold it across
+// Allocate/RemoveWeight calls.  Unlike Sequences it performs no
+// allocation, which keeps the admission hot path allocation-free.
+func (a *Allocator) SequencesForVL(vl uint8) []*Sequence {
+	if vl >= arbtable.NumDataVLs {
+		return nil
+	}
+	return a.byVL[vl]
+}
+
 // Lookup returns the sequence with the given ID, or nil.
 func (a *Allocator) Lookup(id SeqID) *Sequence { return a.seqs[id] }
 
@@ -278,6 +297,7 @@ func (a *Allocator) Allocate(vl uint8, distance, weight int) (*Sequence, error) 
 		}
 		a.nextID++
 		a.seqs[s.ID] = s
+		a.byVL[vl] = append(a.byVL[vl], s) // IDs ascend, so the index stays sorted
 		a.place(s)
 		return s, nil
 	}
@@ -337,6 +357,21 @@ func (a *Allocator) AddWeight(id SeqID, weight int) error {
 // When the accumulated weight reaches zero the slots are freed and the
 // table defragmented.  It reports whether the sequence was freed.
 func (a *Allocator) RemoveWeight(id SeqID, weight int) (freed bool, err error) {
+	return a.removeWeight(id, weight, a.policy.Defrag)
+}
+
+// RemoveWeightNoDefrag deducts weight like RemoveWeight but never runs
+// the defragmenter, even when the sequence empties.  It exists for
+// transaction rollback: undoing a reservation that was just made must
+// restore the table byte-identically, and skipping defragmentation is
+// what guarantees no unrelated sequence moves.  The allocation theorem
+// still holds afterwards because the pre-reservation state satisfied
+// it.
+func (a *Allocator) RemoveWeightNoDefrag(id SeqID, weight int) (freed bool, err error) {
+	return a.removeWeight(id, weight, false)
+}
+
+func (a *Allocator) removeWeight(id SeqID, weight int, defrag bool) (freed bool, err error) {
 	s := a.seqs[id]
 	if s == nil {
 		return false, ErrUnknownSeq
@@ -351,13 +386,26 @@ func (a *Allocator) RemoveWeight(id SeqID, weight int) (freed bool, err error) {
 	if s.Weight == 0 {
 		a.unplace(s)
 		delete(a.seqs, id)
-		if a.policy.Defrag {
+		a.dropFromIndex(s)
+		if defrag {
 			a.Defragment()
 		}
 		return true, nil
 	}
 	a.place(s)
 	return false, nil
+}
+
+// dropFromIndex splices a freed sequence out of the per-VL index.
+func (a *Allocator) dropFromIndex(s *Sequence) {
+	idx := a.byVL[s.VL]
+	for i, cand := range idx {
+		if cand.ID == s.ID {
+			a.byVL[s.VL] = append(idx[:i], idx[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: sequence %d missing from VL %d index", s.ID, s.VL))
 }
 
 // Defragment relocates live sequences to the lowest free bit-reversal
@@ -504,7 +552,29 @@ func (a *Allocator) CheckInvariants() error {
 			return fmt.Errorf("slot %d: free but table entry not empty", pos)
 		}
 	}
-	// 2. The allocation theorem: for every power-of-two size up to the
+	// 2. The per-VL index holds exactly the live sequences, in
+	// ascending ID order.
+	indexed := 0
+	for vl := range a.byVL {
+		var prev SeqID
+		for _, s := range a.byVL[vl] {
+			indexed++
+			if a.seqs[s.ID] != s {
+				return fmt.Errorf("VL %d index holds stale sequence %d", vl, s.ID)
+			}
+			if int(s.VL) != vl {
+				return fmt.Errorf("sequence %d on VL %d indexed under VL %d", s.ID, s.VL, vl)
+			}
+			if s.ID <= prev {
+				return fmt.Errorf("VL %d index out of order at sequence %d", vl, s.ID)
+			}
+			prev = s.ID
+		}
+	}
+	if indexed != len(a.seqs) {
+		return fmt.Errorf("VL index holds %d sequences, allocator has %d", indexed, len(a.seqs))
+	}
+	// 3. The allocation theorem: for every power-of-two size up to the
 	// free-slot count there is a fully free candidate set.  Only the
 	// paper's policy provides it.
 	if a.policy.Name != BitReversal.Name {

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arbtable"
+)
+
+// The high-priority table travels between control plane and port as
+// 16-entry blocks — the granularity of one VLArbitrationTable MAD
+// attribute block in this repository's wire model.
+const (
+	// BlockEntries is the number of table entries per delta block.
+	BlockEntries = 16
+	// NumHighBlocks is the number of blocks covering the 64-slot
+	// high-priority table.
+	NumHighBlocks = TableSize / BlockEntries
+)
+
+// BlockDelta is one changed 16-entry block of the high table.
+type BlockDelta struct {
+	Index   int // block number, 0..NumHighBlocks-1
+	Entries [BlockEntries]arbtable.Entry
+}
+
+// Delta is a staged changeset: the blocks of the high table that
+// differ between the shadow (control-plane) and active (data-plane)
+// views, tagged with the version the active table will carry once all
+// of them are applied.  Unchanged blocks are not transmitted.
+type Delta struct {
+	Version uint64
+	Blocks  []BlockDelta
+}
+
+// Errors of the programming protocol.
+var (
+	// ErrProgramInFlight rejects a second BeginProgram while a
+	// transaction is still being delivered.
+	ErrProgramInFlight = errors.New("core: port is already being reprogrammed")
+	// ErrTornUpdate rejects a block that cannot belong to the expected
+	// transaction: wrong version, wrong block count, a duplicate, or no
+	// transaction open at all.  The port discards all staged state.
+	ErrTornUpdate = errors.New("core: torn table update rejected")
+)
+
+// Dirty reports whether the shadow table has changes the active table
+// has not been programmed with yet.
+func (p *PortTable) Dirty() bool {
+	shadow := &p.alloc.Table().High
+	return *shadow != p.active.High
+}
+
+// Programming reports whether a table program is in flight: a delta
+// has been emitted but its blocks have not all arrived.  Admission
+// treats such a port as busy.
+func (p *PortTable) Programming() bool { return p.programming }
+
+// BeginProgram opens a programming transaction: it diffs the shadow
+// high table against the active one and returns the changed blocks as
+// a Delta carrying the active table's next version.  An empty delta
+// (no blocks) means the tables already agree and no transaction was
+// opened.  While a transaction is open further BeginProgram calls fail
+// with ErrProgramInFlight; the control plane must deliver the delta's
+// blocks (DeliverBlock) before programming this port again.
+func (p *PortTable) BeginProgram() (Delta, error) {
+	if p.programming {
+		return Delta{}, ErrProgramInFlight
+	}
+	shadow := p.alloc.Table()
+	var d Delta
+	for b := 0; b < NumHighBlocks; b++ {
+		lo := b * BlockEntries
+		var blk [BlockEntries]arbtable.Entry
+		copy(blk[:], shadow.High[lo:lo+BlockEntries])
+		var act [BlockEntries]arbtable.Entry
+		copy(act[:], p.active.High[lo:lo+BlockEntries])
+		if blk != act {
+			d.Blocks = append(d.Blocks, BlockDelta{Index: b, Entries: blk})
+		}
+	}
+	if len(d.Blocks) == 0 {
+		return Delta{}, nil
+	}
+	d.Version = p.active.Version() + 1
+	p.programming = true
+	p.targetVer = d.Version
+	p.target = shadow.High
+	p.expectTotal = len(d.Blocks)
+	p.staged = [NumHighBlocks]bool{}
+	p.stats.Programs++
+	return d, nil
+}
+
+// DeliverBlock hands the port one block of a programmed delta, as if
+// the corresponding SMP just arrived.  Blocks may arrive in any order;
+// the active table is swapped — atomically, version advanced — exactly
+// when all blocks of the transaction are present.  A block that cannot
+// belong to the open transaction (no transaction, version or total
+// mismatch, duplicate index) aborts the whole staged set: the port
+// drops the partial state, counts a torn-update abort, and returns
+// ErrTornUpdate.  The control plane then re-issues BeginProgram.
+// applied reports whether this delivery completed the transaction.
+func (p *PortTable) DeliverBlock(version uint64, index, total int, entries [BlockEntries]arbtable.Entry) (applied bool, err error) {
+	p.stats.Blocks++
+	abort := func(form string, args ...any) (bool, error) {
+		p.abortProgram()
+		return false, fmt.Errorf("%w: %s", ErrTornUpdate, fmt.Sprintf(form, args...))
+	}
+	if !p.programming {
+		return abort("no transaction open for version %d block %d", version, index)
+	}
+	if version != p.targetVer {
+		return abort("version %d, expected %d", version, p.targetVer)
+	}
+	if total != p.expectTotal {
+		return abort("claims %d blocks, transaction has %d", total, p.expectTotal)
+	}
+	if index < 0 || index >= NumHighBlocks {
+		return abort("block index %d out of range", index)
+	}
+	if p.staged[index] {
+		return abort("duplicate block %d", index)
+	}
+	p.staged[index] = true
+	p.stagedEnt[index] = entries
+	seen := 0
+	for _, s := range p.staged {
+		if s {
+			seen++
+		}
+	}
+	if seen < p.expectTotal {
+		return false, nil
+	}
+	// Complete set: overlay the staged blocks on the current active
+	// table and swap the whole new version in.
+	next := p.active.High
+	for b := 0; b < NumHighBlocks; b++ {
+		if !p.staged[b] {
+			continue
+		}
+		copy(next[b*BlockEntries:(b+1)*BlockEntries], p.stagedEnt[b][:])
+	}
+	if next != p.target {
+		// The delta no longer reproduces the state it was diffed from —
+		// the control plane interleaved incompatible updates.
+		return abort("assembled table does not match transaction target")
+	}
+	p.active.Swap(next)
+	p.stats.Swaps++
+	p.programming = false
+	p.staged = [NumHighBlocks]bool{}
+	return true, nil
+}
+
+// abortProgram discards all staged transaction state and counts a torn
+// update.  The shadow table is untouched (it is the source of truth);
+// the control plane recovers by re-issuing BeginProgram.
+func (p *PortTable) abortProgram() {
+	p.programming = false
+	p.staged = [NumHighBlocks]bool{}
+	p.stats.TornAborts++
+}

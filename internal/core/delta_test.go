@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arbtable"
+)
+
+// deliverAll pushes every block of a delta into the port in order and
+// returns the final applied flag.
+func deliverAll(t *testing.T, p *PortTable, d Delta) bool {
+	t.Helper()
+	applied := false
+	for _, b := range d.Blocks {
+		var err error
+		applied, err = p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries)
+		if err != nil {
+			t.Fatalf("block %d: %v", b.Index, err)
+		}
+	}
+	return applied
+}
+
+func TestActiveLagsShadowUntilDelivered(t *testing.T) {
+	p := newPort()
+	if _, err := p.Reserve(3, 4, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Dirty() {
+		t.Fatal("reservation left shadow == active")
+	}
+	if p.Active().HighWeight() != 0 {
+		t.Error("active table changed before any delta was programmed")
+	}
+	v0 := p.Active().Version()
+
+	d, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != v0+1 {
+		t.Errorf("delta version %d, want %d", d.Version, v0+1)
+	}
+	if !p.Programming() {
+		t.Error("port not programming after BeginProgram")
+	}
+	if !deliverAll(t, p, d) {
+		t.Fatal("full delta did not apply")
+	}
+	if p.Dirty() || p.Programming() {
+		t.Error("port still dirty/programming after apply")
+	}
+	if p.Active().Version() != v0+1 {
+		t.Errorf("active version %d, want %d", p.Active().Version(), v0+1)
+	}
+	if p.Active().High != p.Allocator().Table().High {
+		t.Error("active high table differs from shadow after apply")
+	}
+	if s := p.Stats(); s.Programs != 1 || s.Swaps != 1 || s.TornAborts != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBeginProgramDiffsChangedBlocksOnly(t *testing.T) {
+	p := newPort()
+	// Distance 64 -> a single slot in block 0.
+	if _, err := p.Reserve(1, 64, 10); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) != 1 || d.Blocks[0].Index != 0 {
+		t.Fatalf("delta blocks = %+v, want exactly block 0", d.Blocks)
+	}
+	deliverAll(t, p, d)
+}
+
+func TestBeginProgramRejectsConcurrentTransaction(t *testing.T) {
+	p := newPort()
+	if _, err := p.Reserve(0, 8, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BeginProgram(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BeginProgram(); !errors.Is(err, ErrProgramInFlight) {
+		t.Errorf("second BeginProgram = %v, want ErrProgramInFlight", err)
+	}
+}
+
+func TestDeliverBlockOutOfOrderApplies(t *testing.T) {
+	p := newPort()
+	// Distance 2 touches all four blocks.
+	if _, err := p.Reserve(2, 2, 800); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) != NumHighBlocks {
+		t.Fatalf("delta has %d blocks, want %d", len(d.Blocks), NumHighBlocks)
+	}
+	// Deliver in reverse: staging must be order-free.
+	applied := false
+	for i := len(d.Blocks) - 1; i >= 0; i-- {
+		b := d.Blocks[i]
+		var err error
+		applied, err = p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied != (i == 0) {
+			t.Fatalf("applied=%v after delivering block %d", applied, b.Index)
+		}
+	}
+	if p.Active().High != p.Allocator().Table().High {
+		t.Error("reordered delivery corrupted the active table")
+	}
+}
+
+func TestDeliverBlockTornAborts(t *testing.T) {
+	reserveAndBegin := func(t *testing.T) (*PortTable, Delta) {
+		t.Helper()
+		p := newPort()
+		if _, err := p.Reserve(2, 2, 800); err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.BeginProgram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, d
+	}
+
+	t.Run("no transaction", func(t *testing.T) {
+		p := newPort()
+		var blk [BlockEntries]arbtable.Entry
+		if _, err := p.DeliverBlock(1, 0, NumHighBlocks, blk); !errors.Is(err, ErrTornUpdate) {
+			t.Errorf("err = %v, want ErrTornUpdate", err)
+		}
+	})
+	t.Run("version mismatch", func(t *testing.T) {
+		p, d := reserveAndBegin(t)
+		b := d.Blocks[0]
+		if _, err := p.DeliverBlock(d.Version+7, b.Index, len(d.Blocks), b.Entries); !errors.Is(err, ErrTornUpdate) {
+			t.Errorf("err = %v, want ErrTornUpdate", err)
+		}
+		if p.Programming() {
+			t.Error("transaction survived a torn update")
+		}
+		if p.Stats().TornAborts != 1 {
+			t.Errorf("torn aborts = %d, want 1", p.Stats().TornAborts)
+		}
+	})
+	t.Run("duplicate block", func(t *testing.T) {
+		p, d := reserveAndBegin(t)
+		b := d.Blocks[0]
+		if _, err := p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries); !errors.Is(err, ErrTornUpdate) {
+			t.Errorf("err = %v, want ErrTornUpdate", err)
+		}
+	})
+	t.Run("total mismatch", func(t *testing.T) {
+		p, d := reserveAndBegin(t)
+		b := d.Blocks[0]
+		if _, err := p.DeliverBlock(d.Version, b.Index, len(d.Blocks)+1, b.Entries); !errors.Is(err, ErrTornUpdate) {
+			t.Errorf("err = %v, want ErrTornUpdate", err)
+		}
+	})
+
+	// After any torn abort the shadow is still authoritative: a fresh
+	// transaction must succeed and converge.
+	t.Run("recovers", func(t *testing.T) {
+		p, d := reserveAndBegin(t)
+		b := d.Blocks[0]
+		if _, err := p.DeliverBlock(d.Version+1, b.Index, len(d.Blocks), b.Entries); err == nil {
+			t.Fatal("torn update accepted")
+		}
+		d2, err := p.BeginProgram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !deliverAll(t, p, d2) {
+			t.Fatal("retry did not apply")
+		}
+		if p.Active().High != p.Allocator().Table().High {
+			t.Error("active != shadow after recovery")
+		}
+	})
+}
+
+func TestRollbackRestoresTableBytes(t *testing.T) {
+	p := newPort()
+	// Background load so defragmentation would have something to move.
+	if _, err := p.Reserve(0, 8, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reserve(1, 16, 60); err != nil {
+		t.Fatal(err)
+	}
+	before := *p.Allocator().Table() // snapshot the full shadow table
+	seqs := p.Allocator().Sequences()
+
+	r, err := p.Reserve(2, 4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rollback(r); err != nil {
+		t.Fatal(err)
+	}
+	after := *p.Allocator().Table()
+	if before.High != after.High {
+		t.Error("rollback did not restore the high table byte-identically")
+	}
+	if err := p.Allocator().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	got := p.Allocator().Sequences()
+	if len(got) != len(seqs) {
+		t.Fatalf("%d sequences after rollback, want %d", len(got), len(seqs))
+	}
+	for i := range got {
+		if got[i].String() != seqs[i].String() {
+			t.Errorf("sequence %d = %v, want %v", i, got[i], seqs[i])
+		}
+	}
+}

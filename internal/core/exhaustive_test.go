@@ -50,6 +50,7 @@ func materialize(descs []seqDesc) *Allocator {
 			Weight: TableSize / d.stride, Conns: 1,
 		}
 		a.seqs[s.ID] = s
+		a.byVL[s.VL] = append(a.byVL[s.VL], s)
 		a.place(s)
 	}
 	a.nextID = SeqID(len(descs) + 1)

@@ -15,29 +15,93 @@ type Reservation struct {
 }
 
 // PortTable couples an Allocator with the sequence-sharing policy of
-// the paper: connections of the same service level (same VL, same
-// distance) accumulate their weights on one sequence while it has
-// spare capacity, and only when it fills up is a new sequence
-// allocated.  This lets the number of accepted connections be bounded
-// by available bandwidth rather than by the 64 table slots.
+// the paper, and splits the port's arbitration state into a control
+// plane and a data plane:
+//
+//   - The shadow table (the table passed to NewPortTable, owned by the
+//     allocator) is the control-plane view.  Reserve, Release and
+//     defragmentation mutate it immediately and cheaply.
+//   - The active table (Active) is the data-plane view the port's
+//     arbiter schedules from.  It changes only through whole-version
+//     Swap calls fed by Delta blocks, so the arbiter never observes a
+//     half-written table.
+//
+// BeginProgram diffs shadow against active into a Delta of changed
+// 16-entry blocks; DeliverBlock stages arriving blocks and swaps the
+// active table exactly when a complete new-version set is present.
+// Connections of the same service level (same VL, same distance)
+// accumulate their weights on one sequence while it has spare
+// capacity, and only when it fills up is a new sequence allocated;
+// this lets the number of accepted connections be bounded by available
+// bandwidth rather than by the 64 table slots.
 type PortTable struct {
-	alloc *Allocator
+	alloc  *Allocator
+	active *arbtable.Table
+
+	// In-flight programming transaction (at most one per port).
+	programming bool
+	targetVer   uint64
+	target      [TableSize]arbtable.Entry // shadow.High at BeginProgram
+	expectTotal int
+	staged      [NumHighBlocks]bool
+	stagedEnt   [NumHighBlocks][BlockEntries]arbtable.Entry
+
+	stats ReconfigStats
 }
 
-// NewPortTable returns a PortTable managing the high-priority table of t.
+// ReconfigStats counts control-plane activity at one port (or, summed,
+// across a fabric).
+type ReconfigStats struct {
+	Programs   int64 `json:"programs"`   // BeginProgram transactions opened
+	Blocks     int64 `json:"blocks"`     // table blocks delivered
+	Swaps      int64 `json:"swaps"`      // complete new versions applied
+	TornAborts int64 `json:"tornAborts"` // partial/duplicate/mixed-version sets rejected
+	StalePicks int64 `json:"stalePicks"` // packets scheduled while a program was in flight
+}
+
+// Add accumulates o into s.
+func (s *ReconfigStats) Add(o ReconfigStats) {
+	s.Programs += o.Programs
+	s.Blocks += o.Blocks
+	s.Swaps += o.Swaps
+	s.TornAborts += o.TornAborts
+	s.StalePicks += o.StalePicks
+}
+
+// NewPortTable returns a PortTable whose control plane manages t.  The
+// active (data-plane) table starts as a copy of t; arbiters must read
+// it via Active.
 func NewPortTable(t *arbtable.Table) *PortTable {
-	return &PortTable{alloc: NewAllocator(t)}
+	active := arbtable.New(t.Limit)
+	active.High = t.High
+	active.Low = append([]arbtable.Entry(nil), t.Low...)
+	return &PortTable{alloc: NewAllocator(t), active: active}
 }
 
 // Allocator exposes the underlying allocator (read-mostly: inspection,
-// invariant checks).
+// invariant checks).  Its table is the shadow, control-plane view.
 func (p *PortTable) Allocator() *Allocator { return p.alloc }
 
+// Active returns the data-plane table the port's arbiter schedules
+// from.  It changes only via versioned swaps.
+func (p *PortTable) Active() *arbtable.Table { return p.active }
+
+// SetLow installs the low-priority entry list on both the shadow and
+// the active table.  The low table is outside the paper's fill-in
+// algorithm (slot positions carry no latency meaning), so it is
+// programmed directly rather than through versioned deltas.
+func (p *PortTable) SetLow(entries []arbtable.Entry) {
+	p.alloc.Table().Low = append([]arbtable.Entry(nil), entries...)
+	p.active.Low = append([]arbtable.Entry(nil), entries...)
+}
+
 // Reserve admits one connection with the given VL, maximum distance
-// and weight.  It first tries to join an existing sequence of the same
-// VL whose stride honors the distance and whose spare capacity covers
-// the weight; otherwise it allocates a new sequence.  On failure the
-// table is unchanged.
+// and weight on the shadow table.  It first tries to join an existing
+// sequence of the same VL whose stride honors the distance and whose
+// spare capacity covers the weight; otherwise it allocates a new
+// sequence.  On failure the table is unchanged.  The active table is
+// untouched until the change is programmed (BeginProgram +
+// DeliverBlock, usually via an admission.Programmer).
 func (p *PortTable) Reserve(vl uint8, distance, weight int) (Reservation, error) {
 	if _, _, err := Shape(distance, weight); err != nil {
 		return Reservation{}, err
@@ -45,8 +109,8 @@ func (p *PortTable) Reserve(vl uint8, distance, weight int) (Reservation, error)
 	// Deterministic sharing: the live sequence with the lowest ID that
 	// fits.  Sequences of the same VL always come from the same service
 	// level, but the stride check keeps the latency guarantee explicit.
-	for _, s := range p.alloc.Sequences() {
-		if s.VL != vl || s.Stride > distance || s.Spare() < weight {
+	for _, s := range p.alloc.SequencesForVL(vl) {
+		if s.Stride > distance || s.Spare() < weight {
 			continue
 		}
 		if err := p.alloc.AddWeight(s.ID, weight); err != nil {
@@ -61,13 +125,29 @@ func (p *PortTable) Reserve(vl uint8, distance, weight int) (Reservation, error)
 	return Reservation{Seq: s.ID, Weight: weight}, nil
 }
 
-// Release returns a reservation's weight to the table.  When the
-// owning sequence's accumulated weight reaches zero its slots are
+// Release returns a reservation's weight to the shadow table.  When
+// the owning sequence's accumulated weight reaches zero its slots are
 // freed and the table defragmented.
 func (p *PortTable) Release(r Reservation) error {
 	_, err := p.alloc.RemoveWeight(r.Seq, r.Weight)
 	return err
 }
 
+// Rollback undoes a reservation made earlier in a failed transaction.
+// Unlike Release it never defragments, so the shadow table is restored
+// byte-identically to its pre-Reserve state (a just-added sequence
+// vanishes; a joined sequence just loses the added weight).
+func (p *PortTable) Rollback(r Reservation) error {
+	_, err := p.alloc.RemoveWeightNoDefrag(r.Seq, r.Weight)
+	return err
+}
+
 // ReservedWeight returns the total weight currently reserved.
 func (p *PortTable) ReservedWeight() int { return p.alloc.TotalWeight() }
+
+// Stats returns the port's reconfiguration counters.
+func (p *PortTable) Stats() ReconfigStats { return p.stats }
+
+// NoteStalePick records that the arbiter scheduled a packet while a
+// program was in flight — the packet ran under a stale epoch.
+func (p *PortTable) NoteStalePick() { p.stats.StalePicks++ }

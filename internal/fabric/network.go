@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/arbtable"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -222,16 +223,18 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		{VL: mapping.VLFor(sl.CHSL), Weight: cfg.LowWeights[2]},
 	}
 
-	// Hosts.
+	// Hosts.  The arbiters schedule from the ACTIVE (data-plane) table
+	// of each port; admission writes the shadow and commits deltas.
 	n.hosts = make([]*hostNode, topo.NumHosts())
 	for h := range n.hosts {
-		table := ports.Host[h].Allocator().Table()
-		table.Low = append([]arbtable.Entry(nil), low...)
+		pt := ports.Host[h]
+		pt.SetLow(low)
 		sw, port := topo.HostSwitch(h)
 		node := &hostNode{
 			id: h,
 			out: outPort{
-				arb:        arbtable.NewArbiter(table),
+				arb:        arbtable.NewArbiter(pt.Active()),
+				pt:         pt,
 				downSwitch: sw, downPort: port, downHost: -1,
 				wired: true,
 			},
@@ -249,10 +252,11 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 	for s := range n.switches {
 		node := &swNode{id: s}
 		for p := 0; p < topology.SwitchPorts; p++ {
-			table := ports.Switch[s][p].Allocator().Table()
-			table.Low = append([]arbtable.Entry(nil), low...)
+			pt := ports.Switch[s][p]
+			pt.SetLow(low)
 			op := &node.out[p]
-			op.arb = arbtable.NewArbiter(table)
+			op.arb = arbtable.NewArbiter(pt.Active())
+			op.pt = pt
 			op.downSwitch, op.downPort, op.downHost = -1, -1, -1
 			ip := &node.in[p]
 			ip.upSwitch, ip.upPort, ip.upHost = -1, -1, -1
@@ -509,6 +513,9 @@ func (n *Network) tryHost(h int) {
 	if !ok {
 		return
 	}
+	if host.out.pt.Programming() {
+		host.out.pt.NoteStalePick()
+	}
 	pkt := host.queues[vl][0]
 	host.queues[vl] = host.queues[vl][1:]
 	host.qLen[vl]--
@@ -624,6 +631,9 @@ func (n *Network) trySwitch(s, p int) {
 	vl, _, ok := out.arb.Pick(&ready)
 	if !ok {
 		return
+	}
+	if out.pt.Programming() {
+		out.pt.NoteStalePick()
 	}
 	i := src[vl]
 	in := &node.in[i]
@@ -832,6 +842,24 @@ func (n *Network) MeanSwitchPortUtilization() float64 {
 		return 0
 	}
 	return 100 * sum / float64(cnt)
+}
+
+// ReconfigStats sums the control-plane reconfiguration counters of
+// every port: programs opened, blocks delivered, table swaps applied,
+// torn-update aborts, and packets scheduled under a stale epoch.
+func (n *Network) ReconfigStats() core.ReconfigStats {
+	var sum core.ReconfigStats
+	for _, h := range n.hosts {
+		sum.Add(h.out.pt.Stats())
+	}
+	for _, s := range n.switches {
+		for p := range s.out {
+			if s.out[p].pt != nil {
+				sum.Add(s.out[p].pt.Stats())
+			}
+		}
+	}
+	return sum
 }
 
 // CheckBuffers verifies the credit accounting of every switch input

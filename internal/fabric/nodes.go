@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"repro/internal/arbtable"
+	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -32,6 +33,11 @@ type outPort struct {
 	arb       *arbtable.Arbiter
 	busyUntil int64
 	pending   bool // a kick event is already scheduled
+
+	// pt is the port's control/data-plane table pair; the arbiter
+	// reads pt.Active().  Used to count packets scheduled while a
+	// table program is in flight (stale epoch).
+	pt *core.PortTable
 
 	// kickFn is the preallocated deferred-kick closure for this port,
 	// built once at network construction so the hot path allocates

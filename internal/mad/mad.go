@@ -189,18 +189,39 @@ func DecodeSLtoVL(data []byte) (sl.Mapping, error) {
 }
 
 // VL arbitration blocks: the 64-entry high-priority table travels in
-// two blocks of 32 entries (attribute modifiers 1 and 2); the low
-// table uses modifiers 3 and 4.  Each entry is two bytes: VL in the
-// low nibble of the first, weight in the second.
+// four blocks of 16 entries — the delta granularity of the control
+// plane — with the table version (epoch) in the SMP's TID.  The
+// attribute modifier carries the block number in its low byte
+// (ArbModHighBase+index) and the transaction's total block count in
+// the next byte, so a receiving port can tell a complete new-version
+// set from a torn one.  Low-table blocks start at ArbModLowBase.  Each
+// entry is two bytes: VL in the low nibble of the first, weight in the
+// second.
 const (
-	ArbBlockEntries = 32
-	ArbModHighLower = 1
-	ArbModHighUpper = 2
-	ArbModLowLower  = 3
-	ArbModLowUpper  = 4
+	ArbBlockEntries = 16
+	NumHighBlocks   = arbtable.TableSize / ArbBlockEntries
+	ArbModHighBase  = 1
+	ArbModLowBase   = ArbModHighBase + NumHighBlocks
 )
 
-// EncodeArbBlock renders one 32-entry arbitration block.
+// ArbModifier packs a high-table block index and the transaction's
+// total block count into a VLArbitrationTable attribute modifier.
+func ArbModifier(index, total int) uint32 {
+	return uint32(ArbModHighBase+index) | uint32(total)<<8
+}
+
+// SplitArbModifier is the inverse of ArbModifier.  ok is false when
+// the modifier does not name a high-table block.
+func SplitArbModifier(mod uint32) (index, total int, ok bool) {
+	index = int(mod&0xff) - ArbModHighBase
+	total = int(mod >> 8)
+	if index < 0 || index >= NumHighBlocks {
+		return 0, 0, false
+	}
+	return index, total, true
+}
+
+// EncodeArbBlock renders one 16-entry arbitration block.
 func EncodeArbBlock(entries []arbtable.Entry) ([]byte, error) {
 	if len(entries) > ArbBlockEntries {
 		return nil, fmt.Errorf("mad: %d entries exceed block size %d", len(entries), ArbBlockEntries)
@@ -225,56 +246,88 @@ func DecodeArbBlock(data []byte) ([]arbtable.Entry, error) {
 	return out, nil
 }
 
-// HighTableSMPs builds the two Set(VLArbitrationTable) SMPs that
-// program a port's high-priority table, exactly as a subnet manager
-// would issue them.
-func HighTableSMPs(tid uint64, t *arbtable.Table) ([]*Packet, error) {
+// HighBlockSMP builds one Set(VLArbitrationTable) SMP carrying one
+// 16-entry block of a table transaction: version in the TID, block
+// index and total block count in the attribute modifier.
+func HighBlockSMP(version uint64, index, total int, entries []arbtable.Entry) (*Packet, error) {
+	if index < 0 || index >= NumHighBlocks {
+		return nil, fmt.Errorf("mad: high-table block index %d out of range", index)
+	}
+	if total < 1 || total > NumHighBlocks {
+		return nil, fmt.Errorf("mad: high-table block total %d out of range", total)
+	}
+	block, err := EncodeArbBlock(entries)
+	if err != nil {
+		return nil, err
+	}
+	return &Packet{
+		Header: Header{
+			BaseVersion: 1, MgmtClass: ClassSubnLID, ClassVersion: 1,
+			Method: MethodSet, TID: version,
+			AttrID:       AttrVLArbitration,
+			AttrModifier: ArbModifier(index, total),
+		},
+		Data: block,
+	}, nil
+}
+
+// HighTableSMPs builds the four Set(VLArbitrationTable) SMPs that
+// program a port's complete high-priority table as one transaction,
+// exactly as a subnet manager would issue them for initial bring-up.
+// All four share the table version in their TIDs.
+func HighTableSMPs(version uint64, t *arbtable.Table) ([]*Packet, error) {
 	var out []*Packet
-	for half := 0; half < 2; half++ {
-		block, err := EncodeArbBlock(t.High[half*ArbBlockEntries : (half+1)*ArbBlockEntries])
+	for b := 0; b < NumHighBlocks; b++ {
+		p, err := HighBlockSMP(version, b, NumHighBlocks, t.High[b*ArbBlockEntries:(b+1)*ArbBlockEntries])
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, &Packet{
-			Header: Header{
-				BaseVersion: 1, MgmtClass: ClassSubnLID, ClassVersion: 1,
-				Method: MethodSet, TID: tid + uint64(half),
-				AttrID:       AttrVLArbitration,
-				AttrModifier: uint32(ArbModHighLower + half),
-			},
-			Data: block,
-		})
+		out = append(out, p)
 	}
 	return out, nil
 }
 
-// DecodeHighTable folds the two high-table SMPs back into a table's
-// high-priority entries (the read-back path).
+// DecodeHighTable folds a complete high-table transaction back into a
+// table's high-priority entries (the read-back path).  It enforces the
+// same torn-table rules a port does: every block must carry the same
+// version and claim the full block count, no block may repeat, and all
+// four blocks must be present.  Blocks may arrive in any order;
+// non-arbitration packets are ignored.
 func DecodeHighTable(pkts []*Packet) (*arbtable.Table, error) {
 	t := arbtable.New(arbtable.UnlimitedHigh)
+	var version uint64
+	var staged [NumHighBlocks]bool
 	seen := 0
 	for _, p := range pkts {
 		if p.Header.AttrID != AttrVLArbitration {
 			continue
 		}
-		var base int
-		switch p.Header.AttrModifier {
-		case ArbModHighLower:
-			base = 0
-		case ArbModHighUpper:
-			base = ArbBlockEntries
-		default:
-			continue
+		index, total, ok := SplitArbModifier(p.Header.AttrModifier)
+		if !ok {
+			continue // low-table or foreign block
+		}
+		if total != NumHighBlocks {
+			return nil, fmt.Errorf("mad: torn high table: block %d claims %d blocks, want %d",
+				index, total, NumHighBlocks)
+		}
+		if seen == 0 {
+			version = p.Header.TID
+		} else if p.Header.TID != version {
+			return nil, fmt.Errorf("mad: torn high table: version %d after %d", p.Header.TID, version)
+		}
+		if staged[index] {
+			return nil, fmt.Errorf("mad: torn high table: duplicate block %d", index)
 		}
 		entries, err := DecodeArbBlock(p.Data)
 		if err != nil {
 			return nil, err
 		}
-		copy(t.High[base:], entries)
+		copy(t.High[index*ArbBlockEntries:], entries)
+		staged[index] = true
 		seen++
 	}
-	if seen != 2 {
-		return nil, fmt.Errorf("mad: high table needs 2 blocks, got %d", seen)
+	if seen != NumHighBlocks {
+		return nil, fmt.Errorf("mad: high table needs %d blocks, got %d", NumHighBlocks, seen)
 	}
 	return t, nil
 }

@@ -148,8 +148,8 @@ func TestHighTableSMPsProgramExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkts) != 2 {
-		t.Fatalf("got %d SMPs, want 2", len(pkts))
+	if len(pkts) != NumHighBlocks {
+		t.Fatalf("got %d SMPs, want %d", len(pkts), NumHighBlocks)
 	}
 	// Marshal and unmarshal each SMP (full wire round trip).
 	var recovered []*Packet
@@ -175,14 +175,14 @@ func TestHighTableSMPsProgramExactly(t *testing.T) {
 	}
 }
 
-func TestDecodeHighTableNeedsBothBlocks(t *testing.T) {
+func TestDecodeHighTableNeedsAllBlocks(t *testing.T) {
 	table := arbtable.New(arbtable.UnlimitedHigh)
 	pkts, err := HighTableSMPs(1, table)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DecodeHighTable(pkts[:1]); err == nil {
-		t.Error("half a table accepted")
+	if _, err := DecodeHighTable(pkts[:NumHighBlocks-1]); err == nil {
+		t.Error("partial table accepted")
 	}
 }
 

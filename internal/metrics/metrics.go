@@ -97,7 +97,7 @@ type Metrics struct {
 	// end-to-end deadline.  Deliveries counts all measured deliveries,
 	// giving the miss rate a denominator.
 	DeadlineMisses int64
-	Deliveries    int64
+	Deliveries     int64
 }
 
 // New returns an empty, enabled Metrics.

@@ -1,0 +1,124 @@
+package subnet
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/arbtable"
+	"repro/internal/core"
+	"repro/internal/mad"
+	"repro/internal/sim"
+)
+
+// InbandProgrammer delivers committed table deltas as subnet
+// management packets injected into a running simulation: each changed
+// 16-entry block becomes one Set(VLArbitrationTable) SMP that is
+// marshaled to its wire form, serialized out of the subnet manager,
+// and arrives at the port after the path's MAD latency, where it is
+// unmarshaled, decoded and staged.  The port swaps its active table
+// only when the whole new-version set has arrived, so reconfiguration
+// has a simulated cost and can never tear a table.
+//
+// One transaction is outstanding per port at a time.  If the shadow
+// table changed again while a delta was in flight (e.g. a release
+// during reprogramming), the programmer chains the next transaction as
+// soon as the current one lands.
+type InbandProgrammer struct {
+	Engine *sim.Engine
+
+	// Hops maps a port to its hop distance from the subnet manager;
+	// nil charges every port one hop.
+	Hops func(admission.PortID) int
+
+	// Costs accumulates the MAD traffic of every programmed delta,
+	// comparable with the Manager's discovery/bring-up costs.
+	Costs Costs
+}
+
+// NewInbandProgrammer returns a programmer injecting SMPs into eng,
+// with hop distances taken from the manager's view of the fabric.
+func NewInbandProgrammer(eng *sim.Engine, m *Manager) *InbandProgrammer {
+	return &InbandProgrammer{Engine: eng, Hops: m.HopsToPort}
+}
+
+// HopsToPort returns the SM's hop distance to an arbitration point: a
+// switch port is as far as its switch; a host interface is one hop
+// beyond its home switch.
+func (m *Manager) HopsToPort(id admission.PortID) int {
+	if id.Host >= 0 {
+		sw, _ := m.Topo.HostSwitch(id.Host)
+		return 1 + bfsDepth(m.Topo, m.HomeSwitch, sw)
+	}
+	return m.hopsTo(id.Switch)
+}
+
+// Program implements admission.Programmer.
+func (p *InbandProgrammer) Program(id admission.PortID, pt *core.PortTable, d core.Delta) error {
+	hops := 1
+	if p.Hops != nil {
+		hops = p.Hops(id)
+	}
+	total := len(d.Blocks)
+	for k, b := range d.Blocks {
+		pkt, err := mad.HighBlockSMP(d.Version, b.Index, total, b.Entries[:])
+		if err != nil {
+			return fmt.Errorf("subnet: block %d of %v: %w", b.Index, id, err)
+		}
+		wire, err := pkt.Marshal()
+		if err != nil {
+			return fmt.Errorf("subnet: block %d of %v: %w", b.Index, id, err)
+		}
+		p.Costs.addMAD(hops)
+		// The SM serializes its SMPs back to back; each then needs the
+		// one-way path time to the port.
+		delay := int64(k+1)*madWireBytes + int64(hops)*(madWireBytes+hopLatencyBT)
+		p.Engine.After(delay, func() { p.arrive(id, pt, wire) })
+	}
+	return nil
+}
+
+// arrive lands one SMP at its port: the wire bytes are parsed and the
+// block staged.  When the delivery completes a transaction and the
+// shadow table has moved on in the meantime, the next transaction is
+// chained immediately.
+func (p *InbandProgrammer) arrive(id admission.PortID, pt *core.PortTable, wire []byte) {
+	pkt, err := mad.Unmarshal(wire)
+	if err != nil {
+		panic(fmt.Sprintf("subnet: SMP for %v corrupted on the wire: %v", id, err))
+	}
+	index, total, ok := mad.SplitArbModifier(pkt.Header.AttrModifier)
+	if !ok {
+		panic(fmt.Sprintf("subnet: SMP for %v is not a high-table block", id))
+	}
+	entries, err := mad.DecodeArbBlock(pkt.Data)
+	if err != nil {
+		panic(fmt.Sprintf("subnet: SMP for %v: %v", id, err))
+	}
+	var blk [core.BlockEntries]arbtable.Entry
+	copy(blk[:], entries)
+	applied, err := pt.DeliverBlock(pkt.Header.TID, index, total, blk)
+	if err != nil {
+		// The port rejected the set as torn and dropped its staged
+		// state.  The shadow table is still authoritative: start over.
+		p.chain(id, pt)
+		return
+	}
+	if applied {
+		p.chain(id, pt)
+	}
+}
+
+// chain opens the next transaction for a port whose shadow and active
+// tables still disagree (nothing to do when they match).
+func (p *InbandProgrammer) chain(id admission.PortID, pt *core.PortTable) {
+	if pt.Programming() || !pt.Dirty() {
+		return
+	}
+	d, err := pt.BeginProgram()
+	if err != nil || len(d.Blocks) == 0 {
+		return
+	}
+	if err := p.Program(id, pt, d); err != nil {
+		panic(fmt.Sprintf("subnet: chaining program for %v: %v", id, err))
+	}
+}

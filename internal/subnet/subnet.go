@@ -232,10 +232,10 @@ func (m *Manager) ProgramForwarding() (Costs, error) {
 
 // ProgramQoS distributes the QoS state the paper's proposal needs: per
 // switch port and per host interface, one Set(SLtoVLMappingTable) SMP
-// and two Set(VLArbitrationTable) SMPs (the 64-entry high-priority
-// table travels in two blocks of 32 entries).  The SMPs are built with
-// the real wire encodings from the mad package, so what this function
-// "sends" is byte-exact management traffic.
+// and four Set(VLArbitrationTable) SMPs (the 64-entry high-priority
+// table travels in four blocks of 16 entries, one transaction).  The
+// SMPs are built with the real wire encodings from the mad package, so
+// what this function "sends" is byte-exact management traffic.
 func (m *Manager) ProgramQoS(ports *admission.Ports, mapping sl.Mapping) (Costs, error) {
 	var c Costs
 	if m.Routes == nil {

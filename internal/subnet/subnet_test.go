@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/arbtable"
+	"repro/internal/mad"
 	"repro/internal/routing"
 	"repro/internal/sl"
 	"repro/internal/topology"
@@ -85,13 +86,13 @@ func TestProgrammingCosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Per wired switch port and host interface: 1 SLtoVL + 2 arbitration
+	// Per wired switch port and host interface: 1 SLtoVL + 4 arbitration
 	// blocks.
 	wired := 0
 	for s := 0; s < topo.NumSwitches; s++ {
 		wired += topology.HostsPerSwitch + len(topo.Neighbors(s))
 	}
-	want := 3 * (wired + topo.NumHosts())
+	want := (1 + mad.NumHighBlocks) * (wired + topo.NumHosts())
 	if qos.MADs != want {
 		t.Errorf("QoS MADs = %d, want %d", qos.MADs, want)
 	}

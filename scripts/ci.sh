@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's full verification gate.
 #
+#   fmt        gofmt -l must be empty (formatting is part of the gate)
 #   vet        static checks
 #   build      every package compiles
-#   race tests the whole suite under the race detector (the parallel
-#              sweep runner makes this the load-bearing pass)
-#   fuzz smoke a short coverage-guided run of each internal/core fuzz
-#              target on top of the checked-in seed corpus
+#   race tests the whole suite under the race detector with shuffled
+#              test order (the parallel sweep runner makes this the
+#              load-bearing pass; shuffling flushes out inter-test
+#              state)
+#   fuzz smoke a short coverage-guided run of each fuzz target on top
+#              of the checked-in seed corpus
 #
 # Usage: scripts/ci.sh [--no-fuzz]
 #   FUZZTIME=30s scripts/ci.sh   # longer fuzz smoke
@@ -19,25 +22,37 @@ if [[ "${1:-}" == "--no-fuzz" ]]; then
     RUN_FUZZ=0
 fi
 
+echo "==> gofmt -l"
+UNFORMATTED="$(gofmt -l .)"
+if [[ -n "$UNFORMATTED" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go test -race ./..."
+echo "==> go test -race -shuffle=on ./..."
 # The experiments suite runs whole simulation sweeps; under the race
 # detector on a small machine that legitimately exceeds go test's
 # default 10m budget.
-go test -race -timeout=60m ./...
+go test -race -shuffle=on -timeout=60m ./...
 
 if [[ "$RUN_FUZZ" -eq 1 ]]; then
     # -fuzz takes one target per invocation; -run='^$' skips the unit
     # tests already covered by the race pass.
-    for target in FuzzAllocatorTrace FuzzShape; do
-        echo "==> fuzz smoke: $target ($FUZZTIME)"
-        go test ./internal/core -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME"
-    done
+    while read -r pkg target; do
+        echo "==> fuzz smoke: $pkg $target ($FUZZTIME)"
+        go test "$pkg" -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME"
+    done <<'EOF'
+./internal/core FuzzAllocatorTrace
+./internal/core FuzzShape
+./internal/mad FuzzHighTableDecode
+EOF
 fi
 
 echo "==> ci.sh: all green"
