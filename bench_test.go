@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/runner"
@@ -292,6 +293,26 @@ func BenchmarkArbiterPickInstrumented(b *testing.B) {
 	}
 	if c.Picks == 0 {
 		b.Fatal("counters not attached")
+	}
+}
+
+// BenchmarkArbiterPickFaultsDisabled is the scheduling pass as the
+// fabric runs it with fault injection disabled: the nil-injector
+// availability query (the one extra branch the faults layer costs)
+// followed by the pick.  Still 0 allocs/op — the acceptance bar for
+// the fault-injection subsystem's disabled state.
+func BenchmarkArbiterPickFaultsDisabled(b *testing.B) {
+	arb, ready := benchArbiter(b)
+	var inj *faults.Injector // nil: faults disabled
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if until := inj.BlockedUntil(faults.HostKey(0), int64(i)); until > int64(i) {
+			b.Fatal("nil injector blocked the port")
+		}
+		if _, _, ok := arb.Pick(ready); !ok {
+			b.Fatal("nothing picked")
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFaultsJSONGolden pins the -exp faults JSON at the tiny scale
+// (seed 1) against a checked-in golden.  The fault sequences are pure
+// functions of the seed, so any diff is a real behavior or format
+// change; regenerate deliberately with
+//
+//	go test ./cmd/ibsim -run FaultsJSONGolden -update
+func TestFaultsJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.FaultsTiny()
+	res, err := experiments.FaultsSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := emitFaultsJSON(&buf, base, res); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "faults.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("faults JSON diverged from %s (rerun with -update if intended)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestFaultsJSONShape checks the invariants scripts rely on: the sweep
+// covers the fault grid, its first point is fault-free with a clean
+// control block, and the faulty points terminated every transaction.
+func TestFaultsJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.FaultsTiny()
+	base.Churn.Arrivals = 40
+	res, err := experiments.FaultsSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emitFaultsJSON(&buf, base, res); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		BaseSeed int64 `json:"baseSeed"`
+		Runs     []struct {
+			Drop    float64 `json:"drop"`
+			Control struct {
+				SMPsDropped int64 `json:"smpsDropped"`
+				Retransmits int64 `json:"retransmits"`
+			} `json:"control"`
+			UnterminatedTxns int `json:"unterminatedTxns"`
+			DirtySurvivors   int `json:"dirtySurvivors"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(rep.Runs) < 3 {
+		t.Fatalf("sweep has %d runs, want the full fault grid", len(rep.Runs))
+	}
+	if r := rep.Runs[0]; r.Drop != 0 || r.Control.SMPsDropped != 0 || r.Control.Retransmits != 0 {
+		t.Errorf("control point not fault-free: %+v", r)
+	}
+	last := rep.Runs[len(rep.Runs)-1]
+	if last.Drop == 0 || last.Control.SMPsDropped == 0 {
+		t.Errorf("heaviest point dealt no faults: %+v", last)
+	}
+	for i, r := range rep.Runs {
+		if r.UnterminatedTxns != 0 || r.DirtySurvivors != 0 {
+			t.Errorf("run %d: termination audit nonzero: %+v", i, r)
+		}
+	}
+}

@@ -116,6 +116,23 @@ func emitChurnJSON(w io.Writer, base experiments.ChurnParams, res []experiments.
 	})
 }
 
+// faultsReport is the machine-readable form of a fault sweep.
+type faultsReport struct {
+	Switches int                        `json:"switches"`
+	BaseSeed int64                      `json:"baseSeed"`
+	Arrivals int                        `json:"arrivals"`
+	Runs     []experiments.FaultsResult `json:"runs"`
+}
+
+func emitFaultsJSON(w io.Writer, base experiments.FaultParams, res []experiments.FaultsResult) error {
+	return encodeIndented(w, faultsReport{
+		Switches: base.Churn.Switches,
+		BaseSeed: base.Churn.Seed,
+		Arrivals: base.Churn.Arrivals,
+		Runs:     res,
+	})
+}
+
 func encodeIndented(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

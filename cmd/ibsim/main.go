@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|all")
 		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
 		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
 		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
@@ -114,6 +114,23 @@ func main() {
 		experiments.PrintChurn(os.Stdout, res)
 		fmt.Println()
 		if err := emitChurnJSON(os.Stdout, base, res); err != nil {
+			fatal(err)
+		}
+	case "faults":
+		base := faultParams(*scale)
+		if *seed != 0 {
+			base.Churn.Seed = *seed
+		}
+		if *switches != 0 {
+			base.Churn.Switches = *switches
+		}
+		res, err := experiments.FaultsSweep(base, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFaults(os.Stdout, res)
+		fmt.Println()
+		if err := emitFaultsJSON(os.Stdout, base, res); err != nil {
 			fatal(err)
 		}
 	case "scaling":
@@ -208,6 +225,14 @@ func churnParams(scale string) experiments.ChurnParams {
 		return experiments.ChurnTiny()
 	}
 	return experiments.ChurnQuick()
+}
+
+// faultParams maps a scale preset onto the fault-injection experiment.
+func faultParams(scale string) experiments.FaultParams {
+	if scale == "tiny" {
+		return experiments.FaultsTiny()
+	}
+	return experiments.FaultsQuick()
 }
 
 func parseSizes(s string) ([]int, error) {

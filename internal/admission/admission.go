@@ -39,6 +39,14 @@ import (
 // (AdmitWithRetry) rather than treating it as lack of capacity.
 var ErrHopBusy = errors.New("admission: hop mid-reprogram")
 
+// ErrHopDown marks an admission rejected because a hop on the path is
+// quarantined: the control plane could not reach its port (lost SMPs,
+// a downed link) and took it out of service until an audit read-back
+// succeeds.  Unlike ErrHopBusy this is not worth an immediate retry —
+// the hop stays down for a macroscopic time — so AdmitWithRetry fails
+// fast instead of backing off.
+var ErrHopDown = errors.New("admission: hop down (quarantined)")
+
 // PortID names one arbitration point of the fabric, so programmers can
 // attribute costs (hop distance from the subnet manager) to the port a
 // delta is for.
@@ -175,6 +183,13 @@ type Controller struct {
 	// prog delivers committed deltas to the data plane; defaults to
 	// DirectProgrammer (synchronous, free reconfiguration).
 	prog Programmer
+
+	// Down, when set, reports whether a port is quarantined by the
+	// control plane's audit path (unreachable over the management
+	// network).  Admissions crossing a down hop fail fast with
+	// ErrHopDown instead of reserving weight the data plane would never
+	// learn about.  Nil means no hop is ever down.
+	Down func(PortID) bool
 }
 
 // NewController returns a controller over the given network state.
@@ -265,6 +280,10 @@ func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 	// Phase 1: prepare on the shadow tables.
 	for i, st := range sites {
 		tb := st.table
+		if c.Down != nil && c.Down(st.id) {
+			c.abort(conn)
+			return nil, fmt.Errorf("admission: hop %d/%d (%v): %w", i+1, len(sites), st.id, ErrHopDown)
+		}
 		if tb.Programming() {
 			c.abort(conn)
 			return nil, fmt.Errorf("admission: hop %d/%d (%v): %w", i+1, len(sites), st.id, ErrHopBusy)

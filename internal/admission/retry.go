@@ -2,17 +2,23 @@ package admission
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
 
-// RetryPolicy bounds the retry loop of AdmitWithRetry: up to Attempts
-// tries, the k-th retry waiting BackoffBT<<(k-1) byte times (bounded
-// exponential backoff on the simulated clock).
+// RetryPolicy bounds the retry loop of AdmitWithRetry two ways: up to
+// Attempts tries, the k-th retry waiting BackoffBT<<(k-1) byte times
+// (bounded exponential backoff on the simulated clock), and — when
+// DeadlineBT is positive — no retry is scheduled past DeadlineBT byte
+// times after the first attempt.  The deadline caps total retry time
+// even when backoff growth alone would fit more attempts; zero keeps
+// the attempts-only behaviour.
 type RetryPolicy struct {
-	Attempts  int
-	BackoffBT int64
+	Attempts   int
+	BackoffBT  int64
+	DeadlineBT int64
 }
 
 // DefaultRetryPolicy suits churn workloads: a handful of retries
@@ -22,10 +28,14 @@ func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{Attempts: 6, BackoffB
 // AdmitWithRetry attempts an admission on the simulated clock,
 // retrying with exponential backoff while the only obstacle is a hop
 // whose table program is still in flight (ErrHopBusy).  Any other
-// failure — or exhausting the policy's attempts — is final.  done is
-// invoked exactly once, from an engine event (or synchronously when
-// the first attempt settles the outcome), with the admitted connection
-// or the final error.
+// failure is final — including ErrHopDown, since a quarantined hop
+// stays down far longer than any backoff horizon.  Giving up (attempts
+// exhausted, or the next retry would land past the policy deadline)
+// returns the last underlying admission error wrapped with the retry
+// history, so errors.Is still matches ErrHopBusy.  done is invoked
+// exactly once, from an engine event (or synchronously when the first
+// attempt settles the outcome), with the admitted connection or the
+// final error.
 func (c *Controller) AdmitWithRetry(eng *sim.Engine, req traffic.Request, rp RetryPolicy, done func(*Conn, error)) {
 	if rp.Attempts < 1 {
 		rp.Attempts = 1
@@ -33,14 +43,25 @@ func (c *Controller) AdmitWithRetry(eng *sim.Engine, req traffic.Request, rp Ret
 	if rp.BackoffBT < 1 {
 		rp.BackoffBT = 1
 	}
+	start := eng.Now()
 	var attempt func(k int)
 	attempt = func(k int) {
 		conn, err := c.Admit(req)
-		if err == nil || !errors.Is(err, ErrHopBusy) || k+1 >= rp.Attempts {
+		if err == nil || !errors.Is(err, ErrHopBusy) {
 			done(conn, err)
 			return
 		}
-		eng.After(rp.BackoffBT<<k, func() { attempt(k + 1) })
+		if k+1 >= rp.Attempts {
+			done(nil, fmt.Errorf("admission: gave up after %d attempts: %w", k+1, err))
+			return
+		}
+		wait := rp.BackoffBT << k
+		if rp.DeadlineBT > 0 && eng.Now()+wait > start+rp.DeadlineBT {
+			done(nil, fmt.Errorf("admission: retry deadline (%d bt) exceeded after %d attempts: %w",
+				rp.DeadlineBT, k+1, err))
+			return
+		}
+		eng.After(wait, func() { attempt(k + 1) })
 	}
 	attempt(0)
 }

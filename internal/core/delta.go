@@ -95,32 +95,53 @@ func (p *PortTable) BeginProgram() (Delta, error) {
 // DeliverBlock hands the port one block of a programmed delta, as if
 // the corresponding SMP just arrived.  Blocks may arrive in any order;
 // the active table is swapped — atomically, version advanced — exactly
-// when all blocks of the transaction are present.  A block that cannot
-// belong to the open transaction (no transaction, version or total
-// mismatch, duplicate index) aborts the whole staged set: the port
-// drops the partial state, counts a torn-update abort, and returns
-// ErrTornUpdate.  The control plane then re-issues BeginProgram.
-// applied reports whether this delivery completed the transaction.
+// when all blocks of the transaction are present.
+//
+// The protocol is idempotent under retransmission: a duplicate of a
+// block already staged with identical content, a block of a version
+// older than the open transaction (a late retransmission of a
+// finished or abandoned one), or — with no transaction open — a block
+// matching the active table's version and content, are all silently
+// ignored.  A block that contradicts the open transaction (future
+// version, wrong total, duplicate index with different content)
+// aborts the whole staged set: the port drops the partial state,
+// counts a torn-update abort, and returns ErrTornUpdate.  The control
+// plane then re-issues BeginProgram.  applied reports whether this
+// delivery completed the transaction.
 func (p *PortTable) DeliverBlock(version uint64, index, total int, entries [BlockEntries]arbtable.Entry) (applied bool, err error) {
 	p.stats.Blocks++
 	abort := func(form string, args ...any) (bool, error) {
 		p.abortProgram()
 		return false, fmt.Errorf("%w: %s", ErrTornUpdate, fmt.Sprintf(form, args...))
 	}
+	if index < 0 || index >= NumHighBlocks {
+		return abort("block index %d out of range", index)
+	}
 	if !p.programming {
+		if version < p.active.Version() {
+			return false, nil // stale straggler of a long-retired version
+		}
+		if version == p.active.Version() && p.activeBlockMatches(index, entries) {
+			// A retransmitted or duplicated SMP of the transaction that
+			// just committed: the content is already live.  Idempotent.
+			return false, nil
+		}
 		return abort("no transaction open for version %d block %d", version, index)
 	}
-	if version != p.targetVer {
+	if version < p.targetVer {
+		return false, nil // late retransmission of an earlier transaction
+	}
+	if version > p.targetVer {
 		return abort("version %d, expected %d", version, p.targetVer)
 	}
 	if total != p.expectTotal {
 		return abort("claims %d blocks, transaction has %d", total, p.expectTotal)
 	}
-	if index < 0 || index >= NumHighBlocks {
-		return abort("block index %d out of range", index)
-	}
 	if p.staged[index] {
-		return abort("duplicate block %d", index)
+		if p.stagedEnt[index] == entries {
+			return false, nil // duplicate delivery, identical content
+		}
+		return abort("duplicate block %d with different content", index)
 	}
 	p.staged[index] = true
 	p.stagedEnt[index] = entries
@@ -161,4 +182,30 @@ func (p *PortTable) abortProgram() {
 	p.programming = false
 	p.staged = [NumHighBlocks]bool{}
 	p.stats.TornAborts++
+}
+
+// activeBlockMatches reports whether the active table already carries
+// exactly these entries at the given block.
+func (p *PortTable) activeBlockMatches(index int, entries [BlockEntries]arbtable.Entry) bool {
+	lo := index * BlockEntries
+	var act [BlockEntries]arbtable.Entry
+	copy(act[:], p.active.High[lo:lo+BlockEntries])
+	return act == entries
+}
+
+// CancelProgram rolls back the open programming transaction iff it is
+// the given version: all staged blocks are discarded and the active
+// table is left byte-identical to its pre-transaction state.  It is
+// the coordinator's deadline-abort path — the port-side transaction
+// terminates without a swap.  It reports whether a transaction was
+// cancelled; a port whose transaction already committed (or was torn
+// down) is left untouched, so a coordinator that lost the completing
+// ack cannot destroy a successor transaction.
+func (p *PortTable) CancelProgram(version uint64) bool {
+	if !p.programming || p.targetVer != version {
+		return false
+	}
+	p.programming = false
+	p.staged = [NumHighBlocks]bool{}
+	return true
 }

@@ -156,13 +156,15 @@ func TestDeliverBlockTornAborts(t *testing.T) {
 			t.Errorf("torn aborts = %d, want 1", p.Stats().TornAborts)
 		}
 	})
-	t.Run("duplicate block", func(t *testing.T) {
+	t.Run("duplicate block with different content", func(t *testing.T) {
 		p, d := reserveAndBegin(t)
 		b := d.Blocks[0]
 		if _, err := p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries); !errors.Is(err, ErrTornUpdate) {
+		mutated := b.Entries
+		mutated[0].Weight ^= 0x7f
+		if _, err := p.DeliverBlock(d.Version, b.Index, len(d.Blocks), mutated); !errors.Is(err, ErrTornUpdate) {
 			t.Errorf("err = %v, want ErrTornUpdate", err)
 		}
 	})
@@ -193,6 +195,157 @@ func TestDeliverBlockTornAborts(t *testing.T) {
 			t.Error("active != shadow after recovery")
 		}
 	})
+}
+
+// TestDeliverBlockDuplicateIdempotent is the retransmission-safety
+// regression test: a duplicated commit SMP — delivered again either
+// mid-transaction or after the transaction already swapped the active
+// table — must be absorbed without a torn abort and without changing
+// any state.  This is what makes blind retransmission by the in-band
+// programmer safe.
+func TestDeliverBlockDuplicateIdempotent(t *testing.T) {
+	p := newPort()
+	if _, err := p.Reserve(2, 2, 800); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Blocks) != NumHighBlocks {
+		t.Fatalf("delta has %d blocks, want %d", len(d.Blocks), NumHighBlocks)
+	}
+
+	// Mid-transaction duplicate with identical content: ignored.
+	b0 := d.Blocks[0]
+	if _, err := p.DeliverBlock(d.Version, b0.Index, len(d.Blocks), b0.Entries); err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := p.DeliverBlock(d.Version, b0.Index, len(d.Blocks), b0.Entries); err != nil || applied {
+		t.Fatalf("mid-transaction duplicate: applied=%v err=%v, want no-op", applied, err)
+	}
+	if !p.Programming() {
+		t.Fatal("duplicate killed the transaction")
+	}
+
+	// Complete the transaction.
+	applied := false
+	for _, b := range d.Blocks[1:] {
+		if applied, err = p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !applied {
+		t.Fatal("full delta did not apply")
+	}
+	swaps := p.Stats().Swaps
+
+	// Post-commit duplicate of a committed block: the content is
+	// already live, so it must be ignored — no abort, no extra swap.
+	last := d.Blocks[len(d.Blocks)-1]
+	if applied, err := p.DeliverBlock(d.Version, last.Index, len(d.Blocks), last.Entries); err != nil || applied {
+		t.Fatalf("post-commit duplicate: applied=%v err=%v, want no-op", applied, err)
+	}
+	if p.Programming() || p.Stats().Swaps != swaps || p.Stats().TornAborts != 0 {
+		t.Errorf("post-commit duplicate disturbed port state: %+v", p.Stats())
+	}
+	if p.Active().High != p.Allocator().Table().High {
+		t.Error("active != shadow after duplicate deliveries")
+	}
+}
+
+// TestDeliverBlockStaleVersionIgnored: a straggler SMP of an older,
+// finished (or abandoned) transaction arriving while a newer one is
+// open must not tear the open transaction down.
+func TestDeliverBlockStaleVersionIgnored(t *testing.T) {
+	p := newPort()
+	if _, err := p.Reserve(2, 2, 800); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deliverAll(t, p, d1) {
+		t.Fatal("first delta did not apply")
+	}
+
+	// Open a second transaction.
+	if _, err := p.Reserve(3, 4, 300); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Straggler from transaction 1: ignored, transaction 2 survives.
+	old := d1.Blocks[0]
+	if applied, err := p.DeliverBlock(d1.Version, old.Index, len(d1.Blocks), old.Entries); err != nil || applied {
+		t.Fatalf("stale block: applied=%v err=%v, want no-op", applied, err)
+	}
+	if !p.Programming() {
+		t.Fatal("stale block killed the open transaction")
+	}
+	if !deliverAll(t, p, d2) {
+		t.Fatal("second delta did not apply after stale straggler")
+	}
+	if p.Active().High != p.Allocator().Table().High {
+		t.Error("active != shadow after recovery")
+	}
+}
+
+// TestCancelProgram: the coordinator's deadline abort discards staged
+// state byte-identically and only for the version it names.
+func TestCancelProgram(t *testing.T) {
+	p := newPort()
+	if _, err := p.Reserve(2, 2, 800); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeBefore := p.Active().High
+	b := d.Blocks[0]
+	if _, err := p.DeliverBlock(d.Version, b.Index, len(d.Blocks), b.Entries); err != nil {
+		t.Fatal(err)
+	}
+
+	if p.CancelProgram(d.Version + 1) {
+		t.Error("cancelled a transaction it does not own")
+	}
+	if !p.CancelProgram(d.Version) {
+		t.Fatal("did not cancel the open transaction")
+	}
+	if p.Programming() {
+		t.Error("still programming after cancel")
+	}
+	if p.Active().High != activeBefore {
+		t.Error("cancel changed the active table (rollback not byte-identical)")
+	}
+	if p.CancelProgram(d.Version) {
+		t.Error("second cancel succeeded")
+	}
+
+	// The shadow is untouched and authoritative: reprogramming after a
+	// cancel must converge.
+	d2, err := p.BeginProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled attempt never swapped, so the retry reuses its
+	// version; stragglers of the cancelled attempt are absorbed by the
+	// content-identity checks.
+	if d2.Version != d.Version {
+		t.Errorf("retry version %d, want %d", d2.Version, d.Version)
+	}
+	if !deliverAll(t, p, d2) {
+		t.Fatal("retry did not apply")
+	}
+	if p.Active().High != p.Allocator().Table().High {
+		t.Error("active != shadow after cancel + reprogram")
+	}
 }
 
 func TestRollbackRestoresTableBytes(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/arbtable"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -104,7 +105,18 @@ type Network struct {
 	// Start; nil keeps the hot path free of metered work beyond one
 	// branch per site.
 	Metrics *metrics.Metrics
+
+	// Faults, when non-nil, is consulted once per scheduling pass: a
+	// port inside one of the injector's down or stall windows schedules
+	// nothing until the window ends.  Nil (the default) costs the hot
+	// path a single predictable branch, like Metrics.
+	Faults *faults.Injector
 }
+
+// SetFaults attaches a fault injector to the data plane's scheduling
+// passes (share it with the control plane's programmer so both sides
+// see the same link schedule).
+func (n *Network) SetFaults(in *faults.Injector) { n.Faults = in }
 
 // EnableMetrics attaches a counter set to the network and its
 // arbiters, returning it.  Idempotent; call before Start.
@@ -485,6 +497,12 @@ func (n *Network) tryHost(h int) {
 	if host.out.busyUntil > now {
 		return
 	}
+	if n.Faults != nil {
+		if until := n.Faults.BlockedUntil(faults.HostKey(h), now); until > now {
+			n.Engine.At(until, func() { n.kickHost(h) })
+			return
+		}
+	}
 	down := &n.switches[host.out.downSwitch].in[host.out.downPort]
 	capacity := n.bufferCapacity()
 
@@ -567,6 +585,12 @@ func (n *Network) trySwitch(s, p int) {
 	now := n.Engine.Now()
 	if !out.wired || out.busyUntil > now {
 		return
+	}
+	if n.Faults != nil {
+		if until := n.Faults.BlockedUntil(faults.SwitchPortKey(s, p), now); until > now {
+			n.Engine.At(until, func() { n.kickSwitch(s, p) })
+			return
+		}
 	}
 
 	var down *inPort

@@ -43,6 +43,43 @@ type VLCounters struct {
 	Packets int64
 }
 
+// ControlCounters meters the hardened control plane: subnet-management
+// packet loss and the recovery work of the in-band programmer and the
+// table auditor.  The programmer and auditor update them directly (the
+// control plane is never a hot path); all-zero counters are omitted
+// from snapshots so fault-free runs keep their JSON shape.
+type ControlCounters struct {
+	SMPsDropped     int64 `json:"smpsDropped"`     // SMPs lost in transit (including down links)
+	SMPsCorrupted   int64 `json:"smpsCorrupted"`   // SMPs with wire bytes flipped in transit
+	SMPsDuplicated  int64 `json:"smpsDuplicated"`  // SMPs delivered twice
+	AcksLost        int64 `json:"acksLost"`        // responses lost on the return path
+	Retransmits     int64 `json:"retransmits"`     // blocks re-sent after a response timeout
+	DeadlineAborts  int64 `json:"deadlineAborts"`  // transactions aborted at their wall-clock deadline
+	Abandoned       int64 `json:"abandoned"`       // transactions abandoned after retransmit exhaustion
+	AuditRounds     int64 `json:"auditRounds"`     // Get(VLArbitrationTable) read-back rounds started
+	AuditRecoveries int64 `json:"auditRecoveries"` // ports healed (re-synced) by the audit path
+	QuarantinedHops int64 `json:"quarantinedHops"` // hops quarantined as unreachable
+}
+
+// Zero reports whether no control-plane fault activity was counted.
+func (c *ControlCounters) Zero() bool {
+	return c == nil || *c == ControlCounters{}
+}
+
+// Add accumulates o into c.
+func (c *ControlCounters) Add(o ControlCounters) {
+	c.SMPsDropped += o.SMPsDropped
+	c.SMPsCorrupted += o.SMPsCorrupted
+	c.SMPsDuplicated += o.SMPsDuplicated
+	c.AcksLost += o.AcksLost
+	c.Retransmits += o.Retransmits
+	c.DeadlineAborts += o.DeadlineAborts
+	c.Abandoned += o.Abandoned
+	c.AuditRounds += o.AuditRounds
+	c.AuditRecoveries += o.AuditRecoveries
+	c.QuarantinedHops += o.QuarantinedHops
+}
+
 // Hist is a power-of-two-bucket histogram for small non-negative
 // integer observations (queue depths, scan lengths).  Bucket 0 counts
 // zeros; bucket i counts values v with 2^(i-1) <= v < 2^i; the last
@@ -88,6 +125,12 @@ func (h *Hist) Mean() float64 {
 type Metrics struct {
 	Arb ArbCounters
 	VL  [NumVLs]VLCounters
+
+	// Control meters control-plane fault handling (SMP loss,
+	// retransmission, deadline aborts, quarantines).  A reliability-
+	// aware programmer is pointed at it; fault-free runs leave it zero
+	// and it stays out of snapshots.
+	Control ControlCounters
 
 	// QueueDepth observes the source queue depth at every arbitration
 	// pick (packets waiting behind the one scheduled).
@@ -162,6 +205,10 @@ type Snapshot struct {
 	Deliveries     int64   `json:"deliveries"`
 	DeadlineMisses int64   `json:"deadlineMisses"`
 	MissPercent    float64 `json:"missPercent"`
+
+	// Control is present only when control-plane fault handling did
+	// any work, so fault-free snapshots keep their exact JSON shape.
+	Control *ControlCounters `json:"control,omitempty"`
 }
 
 // Snapshot exports the counters.  Safe on nil (returns the zero
@@ -188,6 +235,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if s.Deliveries > 0 {
 		s.MissPercent = 100 * float64(s.DeadlineMisses) / float64(s.Deliveries)
+	}
+	if !m.Control.Zero() {
+		ctl := m.Control
+		s.Control = &ctl
 	}
 	for vl, c := range m.VL {
 		if c.Packets == 0 {

@@ -1,0 +1,249 @@
+package subnet
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/mad"
+	"repro/internal/sim"
+)
+
+// The table auditor is the control plane's self-healing path.  When
+// reliable delivery gives a port up (retransmits exhausted, deadline
+// passed), the port's data-plane table may be stale — the shadow holds
+// reservations the active table never learned — and further admissions
+// through it would promise bandwidth the arbiter cannot serve.  The
+// auditor therefore quarantines the port (admission fails fast with
+// ErrHopDown via Controller.Down) and probes it with
+// Get(VLArbitrationTable) read-back rounds until the management path
+// works again, then re-syncs the active table from the shadow and
+// lifts the quarantine.  Ports that stay unreachable past the round
+// budget are quarantined permanently: the fabric degrades — rejecting
+// admissions on those paths — instead of hanging.
+
+// AuditConfig bounds the audit loop.
+type AuditConfig struct {
+	// ProbeTimeoutBT is the slack after the last probe's round trip
+	// before a round is scored; it must exceed twice the injector's
+	// maximum reorder delay or late responses score as losses.
+	ProbeTimeoutBT int64
+	// MaxRounds bounds both consecutive failed read-back rounds per
+	// quarantine episode and heal cycles per port; beyond either the
+	// port is quarantined permanently.
+	MaxRounds int
+	// BackoffBT is the wait before the first round and between rounds,
+	// doubling per consecutive failure.
+	BackoffBT int64
+}
+
+// DefaultAuditConfig retries long enough to ride out short link flaps.
+func DefaultAuditConfig() AuditConfig {
+	return AuditConfig{ProbeTimeoutBT: 4 * madWireBytes, MaxRounds: 8, BackoffBT: 4 * madWireBytes}
+}
+
+// auditState tracks one port's quarantine.
+type auditState struct {
+	id          admission.PortID
+	pt          *core.PortTable
+	rounds      int  // consecutive failed rounds this episode
+	heals       int  // completed heal cycles over the port's lifetime
+	active      bool // a round is scheduled or in flight
+	permanent   bool // given up for good
+	quarantined bool
+}
+
+// Auditor owns the quarantine set and the read-back rounds.  Like the
+// programmer it runs on the engine goroutine of one simulation.
+type Auditor struct {
+	Engine *sim.Engine
+	Prog   *InbandProgrammer
+	Config AuditConfig
+
+	// Costs accumulates the MAD traffic of the audit probes, separate
+	// from the programmer's delta traffic.
+	Costs Costs
+
+	state map[admission.PortID]*auditState
+}
+
+// NewAuditor returns an auditor wired to the programmer's give-up hook.
+// Point Controller.Down at Quarantined to make admission respect the
+// quarantine set.
+func NewAuditor(eng *sim.Engine, prog *InbandProgrammer, cfg AuditConfig) *Auditor {
+	a := &Auditor{Engine: eng, Prog: prog, Config: cfg, state: make(map[admission.PortID]*auditState)}
+	prog.OnGiveUp = a.PortGaveUp
+	return a
+}
+
+// Quarantined reports whether a port is currently out of service; it
+// has the signature admission.Controller.Down expects.
+func (a *Auditor) Quarantined(id admission.PortID) bool {
+	st := a.state[id]
+	return st != nil && st.quarantined
+}
+
+// QuarantinedCount returns the number of ports currently out of
+// service.
+func (a *Auditor) QuarantinedCount() int {
+	n := 0
+	for _, st := range a.state {
+		if st.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// AuditsPending reports whether any audit round is still scheduled or
+// in flight (experiments assert the audit path, too, terminates).
+func (a *Auditor) AuditsPending() bool {
+	for _, st := range a.state {
+		if st.active {
+			return true
+		}
+	}
+	return false
+}
+
+// PortGaveUp is the programmer's give-up hook: quarantine the port and
+// start (or continue) its audit.
+func (a *Auditor) PortGaveUp(id admission.PortID, pt *core.PortTable) {
+	st := a.state[id]
+	if st == nil {
+		st = &auditState{id: id, pt: pt}
+		a.state[id] = st
+	}
+	if !st.quarantined {
+		st.quarantined = true
+		a.Prog.counters().QuarantinedHops++
+	}
+	if st.active || st.permanent {
+		return
+	}
+	st.active = true
+	st.rounds = 0
+	a.Engine.After(a.Config.BackoffBT, func() { a.round(st) })
+}
+
+// round sends one Get(VLArbitrationTable) read-back: every block of the
+// port's active high table is requested over the management path, each
+// probe and each response drawing its own fate from the injector.  The
+// round succeeds only when all blocks come back and decode to exactly
+// the port's active content — a reachable, untorn port.
+func (a *Auditor) round(st *auditState) {
+	if st.permanent {
+		st.active = false
+		return
+	}
+	a.Prog.counters().AuditRounds++
+	link := linkKey(st.id)
+	hops := 1
+	if a.Prog.Hops != nil {
+		hops = a.Prog.Hops(st.id)
+	}
+	oneWay := int64(hops) * (madWireBytes + hopLatencyBT)
+	now := a.Engine.Now()
+	inj := a.Prog.Faults
+	got := 0
+	var lastArrive int64
+	for b := 0; b < core.NumHighBlocks; b++ {
+		a.Costs.addMAD(hops)
+		serialize := int64(b+1) * madWireBytes
+		ff := inj.SMPFate(link)
+		if ff.Drop || inj.DownUntil(link, now) > now {
+			a.Prog.counters().SMPsDropped++
+			continue
+		}
+		// The Get reaches the port; its GetResp carries the active
+		// block back, subject to the return path's own fate.  Down
+		// windows are re-checked at response time — a flap can start
+		// mid-round trip.
+		rf := inj.SMPFate(link)
+		arriveAt := serialize + oneWay
+		block := b
+		a.Engine.After(arriveAt, func() {
+			if rf.Drop || inj.DownUntil(link, a.Engine.Now()) > a.Engine.Now() {
+				a.Prog.counters().AcksLost++
+				return
+			}
+			a.Engine.After(madWireBytes+oneWay+rf.DelayBT, func() {
+				if a.readBack(st, block) {
+					got++
+				}
+			})
+		})
+		if end := arriveAt + madWireBytes + oneWay + rf.DelayBT; end > lastArrive {
+			lastArrive = end
+		}
+	}
+	a.Engine.After(lastArrive+a.Config.ProbeTimeoutBT, func() { a.finishRound(st, &got) })
+}
+
+// readBack scores one GetResp: the active block travels in its real
+// wire encoding and must decode back to exactly the port's current
+// active content.
+func (a *Auditor) readBack(st *auditState, block int) bool {
+	lo := block * core.BlockEntries
+	active := st.pt.Active()
+	pkt, err := mad.HighBlockSMP(active.Version(), block, core.NumHighBlocks, active.High[lo:lo+core.BlockEntries])
+	if err != nil {
+		panic(fmt.Sprintf("subnet: audit read-back of %v: %v", st.id, err))
+	}
+	pkt.Header.Method = mad.MethodGetResp
+	wire, err := pkt.Marshal()
+	if err != nil {
+		panic(fmt.Sprintf("subnet: audit read-back of %v: %v", st.id, err))
+	}
+	back, err := mad.Unmarshal(wire)
+	if err != nil {
+		return false
+	}
+	ent, err := mad.DecodeArbBlock(back.Data)
+	if err != nil {
+		return false
+	}
+	for i, e := range ent {
+		if e != active.High[lo+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// finishRound scores a read-back round and decides the port's fate:
+// heal, retry with backoff, or permanent quarantine.
+func (a *Auditor) finishRound(st *auditState, got *int) {
+	st.active = false
+	if *got == core.NumHighBlocks {
+		if st.heals >= a.Config.MaxRounds {
+			// The port keeps bouncing between healed and abandoned; stop
+			// feeding it transactions and leave it out of service.
+			st.permanent = true
+			return
+		}
+		st.heals++
+		st.rounds = 0
+		if st.quarantined {
+			st.quarantined = false
+			a.Prog.counters().AuditRecoveries++
+		}
+		// Reachable again: re-sync the data plane from the shadow, which
+		// kept the intended state through the outage.
+		a.Prog.chain(st.id, st.pt)
+		return
+	}
+	st.rounds++
+	if st.rounds >= a.Config.MaxRounds {
+		st.permanent = true
+		return
+	}
+	st.active = true
+	backoff := a.Config.BackoffBT << st.rounds
+	// Skip ahead past a known down window rather than burning rounds
+	// probing a link the schedule says is dead.
+	if until := a.Prog.Faults.DownUntil(linkKey(st.id), a.Engine.Now()); until > a.Engine.Now()+backoff {
+		backoff = until - a.Engine.Now()
+	}
+	a.Engine.After(backoff, func() { a.round(st) })
+}

@@ -6,7 +6,9 @@ import (
 	"repro/internal/admission"
 	"repro/internal/arbtable"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mad"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -33,6 +35,29 @@ type InbandProgrammer struct {
 	// Costs accumulates the MAD traffic of every programmed delta,
 	// comparable with the Manager's discovery/bring-up costs.
 	Costs Costs
+
+	// Faults subjects SMPs and their responses to a fault injector's
+	// fate draws and link-down windows.  Nil is the perfect management
+	// network (and the only faults the legacy path can survive).
+	Faults *faults.Injector
+
+	// Retry enables reliable delivery (see reliable.go): response
+	// timeouts, bounded exponential-backoff retransmission and
+	// transaction deadlines.  The zero profile keeps the legacy
+	// fire-and-forget path with its exact event schedule.
+	Retry RetryProfile
+
+	// Counters receives the control-plane fault/recovery counters;
+	// lazily self-initialized when nil.
+	Counters *metrics.ControlCounters
+
+	// OnGiveUp is called when reliable delivery abandons a port
+	// (retransmits exhausted or deadline passed); the audit layer hooks
+	// it to quarantine and later heal the port.
+	OnGiveUp func(admission.PortID, *core.PortTable)
+
+	txns     map[*core.PortTable]*txnState
+	restarts map[*core.PortTable]int // torn-abort restarts per port
 }
 
 // NewInbandProgrammer returns a programmer injecting SMPs into eng,
@@ -54,6 +79,9 @@ func (m *Manager) HopsToPort(id admission.PortID) int {
 
 // Program implements admission.Programmer.
 func (p *InbandProgrammer) Program(id admission.PortID, pt *core.PortTable, d core.Delta) error {
+	if p.Retry.Enabled() {
+		return p.programReliable(id, pt, d)
+	}
 	hops := 1
 	if p.Hops != nil {
 		hops = p.Hops(id)

@@ -1,0 +1,305 @@
+package subnet
+
+import (
+	"fmt"
+
+	"repro/internal/admission"
+	"repro/internal/arbtable"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/mad"
+	"repro/internal/metrics"
+)
+
+// This file is the programmer's reliable delivery mode: the fault-
+// injection-aware control plane.  The fire-and-forget path in
+// programmer.go assumes a perfect management network; enabling a
+// RetryProfile switches Program to the machinery here, which
+//
+//   - subjects every SMP and every response to the injector's per-link
+//     fate draws (drop, duplicate, corrupt, reorder) and down windows,
+//   - acknowledges each block with a response SMP and retransmits after
+//     a per-block timeout with exponential backoff, bounded attempts,
+//   - bounds each transaction with a wall-clock deadline on the
+//     simulated clock, after which the coordinator cancels the port's
+//     staged state (byte-identical rollback) and reports the port to
+//     the give-up hook (the audit path quarantines it).
+//
+// Retransmission is safe because the versioned-block protocol is
+// idempotent (core.PortTable.DeliverBlock): duplicates and stragglers
+// of settled transactions are ignored; contradictions tear the staged
+// set down and the coordinator restarts from the authoritative shadow.
+
+// RetryProfile configures reliable delivery.  The zero profile
+// (MaxAttempts == 0) keeps the legacy fire-and-forget path — no ack
+// traffic, no timers, byte-identical event schedules.
+type RetryProfile struct {
+	// AckTimeoutBT is the backoff base: the k-th send of a block waits
+	// its serialization plus round-trip time plus AckTimeoutBT<<k before
+	// declaring the response lost.
+	AckTimeoutBT int64
+	// MaxAttempts bounds sends per block, and also transaction restarts
+	// after torn aborts; exhaustion abandons the transaction and hands
+	// the port to OnGiveUp.
+	MaxAttempts int
+	// DeadlineBT, when positive, aborts a transaction still open this
+	// many byte times after it was programmed: the coordinator cancels
+	// the port's staged state and gives the port up.
+	DeadlineBT int64
+}
+
+// DefaultRetryProfile tolerates several consecutive losses per block
+// before giving a port up, with a deadline far beyond the worst-case
+// retransmission ladder of a healthy fabric.
+func DefaultRetryProfile() RetryProfile {
+	return RetryProfile{AckTimeoutBT: 2 * madWireBytes, MaxAttempts: 5, DeadlineBT: 1 << 18}
+}
+
+// Enabled reports whether the profile switches the programmer to
+// reliable delivery.
+func (r RetryProfile) Enabled() bool { return r.MaxAttempts > 0 }
+
+// txnState is the coordinator's view of one in-flight reliable
+// transaction.
+type txnState struct {
+	id      admission.PortID
+	version uint64
+	hops    int
+	blocks  []core.BlockDelta
+	wires   [][]byte
+	acked   []bool
+	attempt []int // sends so far, per block; timeouts of superseded sends are stale
+	pending int   // blocks not yet acknowledged
+	done    bool  // completed, torn down, or given up
+}
+
+// linkKey maps an arbitration point to its fault-injector link key.
+func linkKey(id admission.PortID) int32 {
+	if id.Host >= 0 {
+		return faults.HostKey(id.Host)
+	}
+	return faults.SwitchPortKey(id.Switch, id.Port)
+}
+
+// counters returns the control-plane counter sink, self-initializing so
+// the reliable path never branches on a missing one.
+func (p *InbandProgrammer) counters() *metrics.ControlCounters {
+	if p.Counters == nil {
+		p.Counters = &metrics.ControlCounters{}
+	}
+	return p.Counters
+}
+
+// OpenTransactions returns the number of reliable transactions still in
+// flight.  Experiments assert it reaches zero: every transaction
+// terminates by commit, torn restart, or give-up.
+func (p *InbandProgrammer) OpenTransactions() int {
+	n := 0
+	for _, tx := range p.txns {
+		if !tx.done {
+			n++
+		}
+	}
+	return n
+}
+
+// programReliable opens a reliable transaction: every block is
+// marshaled once, sent through the injector, and tracked until
+// acknowledged.
+func (p *InbandProgrammer) programReliable(id admission.PortID, pt *core.PortTable, d core.Delta) error {
+	if p.txns == nil {
+		p.txns = make(map[*core.PortTable]*txnState)
+		p.restarts = make(map[*core.PortTable]int)
+	}
+	if old := p.txns[pt]; old != nil && !old.done {
+		// The port accepted a new BeginProgram, which it only does with
+		// no transaction open port-side: the old transaction's blocks
+		// all landed and its table swapped, but the acks proving it were
+		// lost.  The successor supersedes it; stragglers and retransmit
+		// timers of the old transaction check done and fall dead.
+		old.done = true
+	}
+	hops := 1
+	if p.Hops != nil {
+		hops = p.Hops(id)
+	}
+	tx := &txnState{
+		id: id, version: d.Version, hops: hops, blocks: d.Blocks,
+		acked:   make([]bool, len(d.Blocks)),
+		attempt: make([]int, len(d.Blocks)),
+		pending: len(d.Blocks),
+	}
+	for _, b := range d.Blocks {
+		pkt, err := mad.HighBlockSMP(d.Version, b.Index, len(d.Blocks), b.Entries[:])
+		if err != nil {
+			return fmt.Errorf("subnet: block %d of %v: %w", b.Index, id, err)
+		}
+		wire, err := pkt.Marshal()
+		if err != nil {
+			return fmt.Errorf("subnet: block %d of %v: %w", b.Index, id, err)
+		}
+		tx.wires = append(tx.wires, wire)
+	}
+	p.txns[pt] = tx
+	for k := range tx.blocks {
+		// The SM serializes the initial burst back to back, like the
+		// legacy path.
+		p.sendBlock(pt, tx, k, 0, int64(k+1)*madWireBytes)
+	}
+	if p.Retry.DeadlineBT > 0 {
+		p.Engine.After(p.Retry.DeadlineBT, func() {
+			if tx.done {
+				return
+			}
+			p.counters().DeadlineAborts++
+			p.giveUp(pt, tx)
+		})
+	}
+	return nil
+}
+
+// sendBlock transmits one attempt of one block through the injector and
+// arms its response timeout.
+func (p *InbandProgrammer) sendBlock(pt *core.PortTable, tx *txnState, k, attempt int, serializeBT int64) {
+	p.Costs.addMAD(tx.hops)
+	tx.attempt[k] = attempt + 1
+	link := linkKey(tx.id)
+	now := p.Engine.Now()
+	oneWay := int64(tx.hops) * (madWireBytes + hopLatencyBT)
+
+	// The timeout covers serialization, the round trip and backoff
+	// headroom that doubles per attempt.
+	timeout := serializeBT + 2*oneWay + p.Retry.AckTimeoutBT<<attempt
+	p.Engine.After(timeout, func() { p.timeout(pt, tx, k, attempt) })
+
+	fate := p.Faults.SMPFate(link)
+	if fate.Drop || p.Faults.DownUntil(link, now) > now {
+		p.counters().SMPsDropped++
+		return
+	}
+	wire := tx.wires[k]
+	if fate.Corrupt() {
+		w := append([]byte(nil), wire...)
+		w[fate.CorruptByte%len(w)] ^= fate.CorruptMask
+		wire = w
+		p.counters().SMPsCorrupted++
+	}
+	delay := serializeBT + oneWay + fate.DelayBT
+	p.Engine.After(delay, func() { p.arriveReliable(pt, tx, wire) })
+	if fate.Duplicate {
+		p.counters().SMPsDuplicated++
+		p.Engine.After(delay+madWireBytes, func() { p.arriveReliable(pt, tx, wire) })
+	}
+}
+
+// arriveReliable lands one (possibly corrupted) SMP at its port.  A
+// packet that no longer parses is discarded silently — the sender's
+// timeout recovers.  Parsed blocks go through DeliverBlock, whose
+// idempotence rules absorb duplicates and stragglers; the port then
+// answers with a response SMP carrying the delivery verdict, subject to
+// the return path's own fate draw.
+func (p *InbandProgrammer) arriveReliable(pt *core.PortTable, tx *txnState, wire []byte) {
+	pkt, err := mad.Unmarshal(wire)
+	if err != nil {
+		return
+	}
+	index, total, ok := mad.SplitArbModifier(pkt.Header.AttrModifier)
+	if !ok {
+		return
+	}
+	entries, err := mad.DecodeArbBlock(pkt.Data)
+	if err != nil {
+		return
+	}
+	var blk [core.BlockEntries]arbtable.Entry
+	copy(blk[:], entries)
+	_, derr := pt.DeliverBlock(pkt.Header.TID, index, total, blk)
+	torn := derr != nil
+
+	link := linkKey(tx.id)
+	now := p.Engine.Now()
+	rf := p.Faults.SMPFate(link)
+	if rf.Drop || p.Faults.DownUntil(link, now) > now {
+		p.counters().AcksLost++
+		return
+	}
+	oneWay := int64(tx.hops) * (madWireBytes + hopLatencyBT)
+	version := pkt.Header.TID
+	p.Engine.After(madWireBytes+oneWay+rf.DelayBT, func() { p.ack(pt, tx, version, index, torn) })
+}
+
+// ack lands a response SMP at the coordinator.  Responses of settled or
+// foreign transactions are ignored; a torn verdict restarts the
+// transaction from the shadow table (bounded); the final outstanding
+// ack completes the transaction and chains the next one if the shadow
+// moved on meanwhile.
+func (p *InbandProgrammer) ack(pt *core.PortTable, tx *txnState, version uint64, index int, torn bool) {
+	if tx.done || version != tx.version {
+		return
+	}
+	if torn {
+		// The port discarded its staged state; this transaction cannot
+		// complete.  The shadow is still authoritative: restart, bounded
+		// so a hostile link cannot loop the control plane forever.
+		tx.done = true
+		delete(p.txns, pt)
+		p.restarts[pt]++
+		if p.restarts[pt] > p.Retry.MaxAttempts {
+			p.restarts[pt] = 0
+			p.counters().Abandoned++
+			p.giveUp(pt, tx)
+			return
+		}
+		p.chain(tx.id, pt)
+		return
+	}
+	for k, b := range tx.blocks {
+		if b.Index != index || tx.acked[k] {
+			continue
+		}
+		tx.acked[k] = true
+		tx.pending--
+		break
+	}
+	if tx.pending == 0 {
+		// Every block was received at least once, so the port applied
+		// the set when the last distinct block arrived (even if the
+		// "applied" response itself was lost and a retransmitted
+		// duplicate carried this ack).
+		tx.done = true
+		delete(p.txns, pt)
+		p.restarts[pt] = 0
+		p.chain(tx.id, pt)
+	}
+}
+
+// timeout fires when a block's response did not arrive in time.  Stale
+// timeouts — block acked, transaction settled, or a newer send already
+// armed — are no-ops; live ones retransmit until attempts run out, then
+// abandon the transaction.
+func (p *InbandProgrammer) timeout(pt *core.PortTable, tx *txnState, k, attempt int) {
+	if tx.done || tx.acked[k] || tx.attempt[k] != attempt+1 {
+		return
+	}
+	if attempt+1 >= p.Retry.MaxAttempts {
+		p.counters().Abandoned++
+		p.giveUp(pt, tx)
+		return
+	}
+	p.counters().Retransmits++
+	p.sendBlock(pt, tx, k, attempt+1, madWireBytes)
+}
+
+// giveUp terminates a transaction without commit: the port's staged
+// state is cancelled (its active table stays byte-identical to the
+// pre-transaction state) and the port is handed to the give-up hook,
+// where the audit path quarantines it.  The shadow table keeps the
+// intended state; a later successful audit re-syncs the port from it.
+func (p *InbandProgrammer) giveUp(pt *core.PortTable, tx *txnState) {
+	tx.done = true
+	delete(p.txns, pt)
+	pt.CancelProgram(tx.version)
+	if p.OnGiveUp != nil {
+		p.OnGiveUp(tx.id, pt)
+	}
+}

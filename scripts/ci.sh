@@ -52,7 +52,11 @@ if [[ "$RUN_FUZZ" -eq 1 ]]; then
 ./internal/core FuzzAllocatorTrace
 ./internal/core FuzzShape
 ./internal/mad FuzzHighTableDecode
+./internal/faults FuzzFaultSchedule
 EOF
 fi
+
+echo "==> ibsim -exp faults -scale tiny (smoke)"
+go run ./cmd/ibsim -exp faults -scale tiny >/dev/null
 
 echo "==> ci.sh: all green"
