@@ -1,0 +1,72 @@
+// Allocation-budget gates for the data-plane hot paths.  These are the
+// CI guards behind the zero-alloc contract of the typed-event engine:
+// with observability disabled (the default), an arbitration pick and a
+// full per-hop packet forwarding step must not allocate.  ci.sh runs
+// them explicitly; a regression here fails the build, not just a
+// benchmark report.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sl"
+	"repro/internal/traffic"
+)
+
+// TestAllocBudgetArbiterPick gates the output-port scheduler: picking
+// from a loaded table allocates nothing.
+func TestAllocBudgetArbiterPick(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets hold only without race instrumentation")
+	}
+	arb, ready := benchArbiter(t)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := arb.Pick(ready); !ok {
+			t.Fatal("nothing picked")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("arbiter pick allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocBudgetPerHopForwarding gates the full steady-state packet
+// path with metrics disabled: generating, arbitrating, forwarding
+// through the crossbar and delivering one packet — every event the
+// fabric schedules — must run allocation-free once the packet and
+// event pools are warm.
+func TestAllocBudgetPerHopForwarding(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets hold only without race instrumentation")
+	}
+	net, err := fabric.New(fabric.DefaultConfig(2, 256, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Adm.Admit(traffic.Request{Src: 0, Dst: 7, Level: sl.DefaultLevels[9], Mbps: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AddConnection(conn)
+	net.Start()
+	// Warm-up: queues, pools and the event heap reach steady-state
+	// capacity.
+	net.Engine.Run(1 << 22)
+	_, delivered, _ := net.Totals()
+	target := delivered
+	cond := func() bool {
+		_, d, _ := net.Totals()
+		return d < target
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		target++
+		net.Engine.RunWhile(cond)
+	})
+	if allocs != 0 {
+		t.Errorf("per-hop forwarding allocates %.2f allocs/op, want 0", allocs)
+	}
+	if s := net.StaleArrivals(); s != 0 {
+		t.Errorf("StaleArrivals = %d, want 0", s)
+	}
+}

@@ -234,15 +234,15 @@ func BenchmarkDefragment(b *testing.B) {
 	}
 }
 
-// benchArbiter builds the loaded arbiter shared by the Pick
-// benchmarks.
-func benchArbiter(b *testing.B) (*arbtable.Arbiter, *arbtable.Ready) {
-	b.Helper()
+// benchArbiter builds the loaded arbiter shared by the Pick benchmarks
+// and the alloc-budget gates.
+func benchArbiter(tb testing.TB) (*arbtable.Arbiter, *arbtable.Ready) {
+	tb.Helper()
 	table := arbtable.New(2)
 	alloc := core.NewAllocator(table)
 	for i := 0; i < 8; i++ {
 		if _, err := alloc.Allocate(uint8(i), 8, 100+i); err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 	}
 	table.Low = []arbtable.Entry{{VL: 10, Weight: 8}, {VL: 11, Weight: 4}}
@@ -313,6 +313,41 @@ func BenchmarkArbiterPickFaultsDisabled(b *testing.B) {
 		if _, _, ok := arb.Pick(ready); !ok {
 			b.Fatal("nothing picked")
 		}
+	}
+}
+
+// BenchmarkPerHopForwarding measures the full data-plane packet path
+// in steady state: one op is one packet generated at a host, arbitrated
+// onto the wire, forwarded through the switch crossbar and delivered at
+// its destination — every event the fabric schedules per packet,
+// including the engine's heap work.  Metrics are disabled (the
+// default), so the 0 allocs/op report is the zero-garbage contract of
+// the typed-event hot path.
+func BenchmarkPerHopForwarding(b *testing.B) {
+	net, err := fabric.New(fabric.DefaultConfig(2, 256, 41))
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := net.Adm.Admit(traffic.Request{Src: 0, Dst: 7, Level: sl.DefaultLevels[9], Mbps: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.AddConnection(conn)
+	net.Start()
+	// Warm-up: let queues, pools and the event heap reach their
+	// steady-state capacity.
+	net.Engine.Run(1 << 22)
+	_, delivered, _ := net.Totals()
+	var target int64
+	cond := func() bool {
+		_, d, _ := net.Totals()
+		return d < target
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target = delivered + int64(i) + 1
+		net.Engine.RunWhile(cond)
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -42,10 +44,37 @@ func main() {
 		withMetrics = flag.Bool("metrics", false, "collect per-port arbitration metrics and append a JSON dump")
 		traceEvents = flag.Int("trace", 0, "record the last N arbitration decisions per run (implies -metrics)")
 		churnSeeds  = flag.Int("churn-seeds", 4, "independent seeds for -exp churn")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
 	runner.SetDefaultWorkers(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("creating -cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("starting CPU profile: %w", err))
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(fmt.Errorf("creating -memprofile: %w", err))
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(fmt.Errorf("writing heap profile: %w", err))
+			}
+		}()
+	}
 
 	p, err := params(*scale)
 	if err != nil {

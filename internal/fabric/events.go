@@ -1,0 +1,203 @@
+package fabric
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file is the fabric's typed-event surface: the kind space its
+// models schedule on the engine, the dispatch switch, and the pooled
+// packet/queue machinery that keeps the steady-state packet path free
+// of allocation.  Every hot-path event the data plane schedules is a
+// sim.Event carrying small integer operands (port codes, VL, wire
+// bytes) plus at most the packet pointer — no closures, so forwarding
+// a packet through a hop allocates nothing once the pools are warm.
+
+// Event kinds of the data plane.  Operand conventions are documented
+// per kind; port codes follow portCode (hosts negative, switch ports
+// s*SwitchPorts+p).
+const (
+	// evGenerate creates one packet of the flow in P and reschedules
+	// itself at the flow's pacing gap.
+	evGenerate sim.Kind = iota
+	// evTryHost is the deferred scheduling pass at host A's interface
+	// (clears the pending flag, then arbitrates).
+	evTryHost
+	// evTrySwitch is the deferred scheduling pass at switch A's output
+	// port B.
+	evTrySwitch
+	// evKickHost re-arms host A's interface at a future time (end of a
+	// fault window).
+	evKickHost
+	// evKickSwitch re-arms switch A's output port B at a future time.
+	evKickSwitch
+	// evInputFree fires when input port B of switch A finishes its
+	// crossbar transfer: the output ports fed by its head packets get
+	// kicked.
+	evInputFree
+	// evXmitDone fires when a packet has fully left its source buffer:
+	// A is the transmitting out-port code, B the source switch-input
+	// code (-1 when the source was a host queue), N packs vl<<32|wire.
+	evXmitDone
+	// evArrive lands the packet in P at the far end of out-port A's
+	// link.  B carries the packet's generation at scheduling time; a
+	// mismatch means the packet was recycled and the event is stale.
+	evArrive
+)
+
+// portCode encodes an arbitration point in one int32: host h is
+// -(h+1), switch s's output port p is s*SwitchPorts+p.
+func hostCode(h int) int32      { return int32(-(h + 1)) }
+func switchCode(s, p int) int32 { return int32(s*topology.SwitchPorts + p) }
+
+// outPortByCode resolves a port code to its outPort.
+func (n *Network) outPortByCode(code int32) *outPort {
+	if code < 0 {
+		return &n.hosts[-code-1].out
+	}
+	return &n.switches[code/topology.SwitchPorts].out[code%topology.SwitchPorts]
+}
+
+// HandleEvent dispatches the fabric's typed events.  It implements
+// sim.Handler; the engine calls it once per executed data-plane event.
+func (n *Network) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evGenerate:
+		n.generate(ev.P.(*Flow))
+	case evTryHost:
+		n.hosts[ev.A].out.pending = false
+		n.tryHost(int(ev.A))
+	case evTrySwitch:
+		n.switches[ev.A].out[ev.B].pending = false
+		n.trySwitch(int(ev.A), int(ev.B))
+	case evKickHost:
+		n.kickHost(int(ev.A))
+	case evKickSwitch:
+		n.kickSwitch(int(ev.A), int(ev.B))
+	case evInputFree:
+		n.kickHeadsOfInput(int(ev.A), int(ev.B))
+	case evXmitDone:
+		n.xmitDone(ev.A, ev.B, int(ev.N>>32), int(int32(ev.N)))
+	case evArrive:
+		pkt := ev.P.(*Packet)
+		if pkt.gen != uint32(ev.B) {
+			// The packet was recycled while this event was in flight;
+			// reviving it would corrupt two flows at once.
+			n.staleArrivals++
+			return
+		}
+		n.arrive(n.outPortByCode(ev.A), pkt)
+	}
+}
+
+// xmitDone completes a transmission: the packet has fully left its
+// source buffer, so the credit returns to whoever feeds that buffer,
+// and the transmitting port runs its next scheduling pass.
+func (n *Network) xmitDone(outCode, srcCode int32, vl, wire int) {
+	if srcCode >= 0 {
+		src := &n.switches[srcCode/topology.SwitchPorts].in[srcCode%topology.SwitchPorts]
+		src.occ[vl] -= wire
+		switch {
+		case src.upSwitch >= 0:
+			n.kickSwitch(src.upSwitch, src.upPort)
+		case src.upHost >= 0:
+			n.kickHost(src.upHost)
+		}
+	}
+	if outCode < 0 {
+		n.kickHost(int(-outCode) - 1)
+	} else {
+		n.kickSwitch(int(outCode)/topology.SwitchPorts, int(outCode)%topology.SwitchPorts)
+	}
+}
+
+// StaleArrivals returns the number of arrival events dropped because
+// their packet had been recycled — the generation counters' audit
+// trail.  On a correct schedule it stays zero.
+func (n *Network) StaleArrivals() int64 { return n.staleArrivals }
+
+// DisablePools turns off packet and event-record recycling for this
+// network and its engine.  Pooled and pool-disabled runs are
+// bit-identical; the determinism property tests compare the two.
+// Call before Start.
+func (n *Network) DisablePools() {
+	n.poolDisabled = true
+	n.Engine.PoolDisabled = true
+}
+
+// newPacket takes a packet from the free-list (or allocates one) and
+// stamps it with the given identity.  The generation survives from the
+// record's previous life — stale events still in flight carry the old
+// generation and are dropped on arrival.
+func (n *Network) newPacket(f *Flow, vl uint8, dst, wire int, injected, tag int64) *Packet {
+	var pkt *Packet
+	if k := len(n.pktFree); k > 0 && !n.poolDisabled {
+		pkt = n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+	} else {
+		pkt = &Packet{}
+	}
+	pkt.Flow, pkt.VL, pkt.Dst, pkt.Wire = f, vl, dst, wire
+	pkt.Injected, pkt.Tag = injected, tag
+	return pkt
+}
+
+// freePacket retires a packet: its generation is bumped so in-flight
+// events referencing it fall dead, and the record returns to the
+// free-list for the next newPacket.
+func (n *Network) freePacket(pkt *Packet) {
+	pkt.gen++
+	pkt.Flow = nil
+	pkt.Tag = 0
+	if n.poolDisabled {
+		return
+	}
+	n.pktFree = append(n.pktFree, pkt)
+}
+
+// pktQueue is a growable FIFO ring of packets.  Push and pop move head
+// and length over a power-of-two buffer, so a steady-state queue never
+// allocates — unlike the append/reslice idiom, whose backing array
+// walks forward and reallocates every capacity's worth of packets.
+type pktQueue struct {
+	buf  []*Packet // power-of-two capacity
+	head int
+	n    int
+}
+
+func (q *pktQueue) len() int       { return q.n }
+func (q *pktQueue) front() *Packet { return q.buf[q.head] }
+
+// at returns the i-th queued packet (0 = front) without removing it.
+func (q *pktQueue) at(i int) *Packet {
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
+func (q *pktQueue) push(p *Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
+	q.n++
+}
+
+func (q *pktQueue) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return p
+}
+
+func (q *pktQueue) grow() {
+	c := 2 * len(q.buf)
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]*Packet, c)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}

@@ -92,4 +92,10 @@ type Packet struct {
 	// the transport package uses it for message reassembly.  Zero for
 	// plain flow packets.
 	Tag int64
+
+	// gen counts the record's lives through the packet free-list.  An
+	// in-flight arrival event snapshots it at scheduling time; if they
+	// disagree at dispatch the packet was recycled and the event is
+	// dropped (see events.go).
+	gen uint32
 }

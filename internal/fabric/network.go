@@ -46,6 +46,13 @@ type Config struct {
 	// Low-priority table weights for the best-effort service levels
 	// (PBE, BE, CH); zero selects the defaults.
 	LowWeights [3]uint8
+
+	// Engine, when non-nil, is reused for this network after a Reset
+	// instead of allocating a fresh engine — sweep harnesses keep one
+	// engine per worker so consecutive sweep points share its warmed
+	// event-record pool and heap.  Reuse is behavior-neutral: a Reset
+	// engine is indistinguishable from a zero one.
+	Engine *sim.Engine
 }
 
 // DefaultConfig returns the evaluation configuration of the paper's
@@ -89,6 +96,13 @@ type Network struct {
 	totalInjected  int64
 	totalDelivered int64
 	totalDropped   int64
+
+	// Packet free-list (see events.go): delivered and dropped packets
+	// are recycled, with generation counters guarding against stale
+	// in-flight events reviving them.
+	pktFree       []*Packet
+	poolDisabled  bool
+	staleArrivals int64
 
 	// Measurement-window network totals.
 	injectedBytes  int64
@@ -212,12 +226,22 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 	}
 	ports := admission.NewPorts(topo, cfg.Limit)
 
+	eng := cfg.Engine
+	if eng == nil {
+		eng = &sim.Engine{}
+	} else {
+		eng.Reset()
+	}
+	// Preallocate the event core for the steady-state event population:
+	// a few events per port plus one generator per eventual flow.
+	eng.Grow(64 + 4*topo.NumHosts() + 2*topo.NumSwitches*topology.SwitchPorts)
+
 	n := &Network{
 		Cfg:     cfg,
 		Topo:    topo,
 		Routes:  routes,
 		Mapping: mapping,
-		Engine:  &sim.Engine{},
+		Engine:  eng,
 		Adm:     admission.NewController(topo, routes, mapping, ports),
 		rng:     rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
 	}
@@ -247,14 +271,10 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 			out: outPort{
 				arb:        arbtable.NewArbiter(pt.Active()),
 				pt:         pt,
+				code:       hostCode(h),
 				downSwitch: sw, downPort: port, downHost: -1,
 				wired: true,
 			},
-		}
-		h := h
-		node.out.kickFn = func() {
-			node.out.pending = false
-			n.tryHost(h)
 		}
 		n.hosts[h] = node
 	}
@@ -269,6 +289,7 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 			op := &node.out[p]
 			op.arb = arbtable.NewArbiter(pt.Active())
 			op.pt = pt
+			op.code = switchCode(s, p)
 			op.downSwitch, op.downPort, op.downHost = -1, -1, -1
 			ip := &node.in[p]
 			ip.upSwitch, ip.upPort, ip.upHost = -1, -1, -1
@@ -283,14 +304,6 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 				op.downSwitch, op.downPort = peer.Switch, peer.Port
 				op.wired = true
 				ip.upSwitch, ip.upPort = peer.Switch, peer.Port
-			}
-		}
-		for p := 0; p < topology.SwitchPorts; p++ {
-			op := &node.out[p]
-			s, p := s, p
-			op.kickFn = func() {
-				op.pending = false
-				n.trySwitch(s, p)
 			}
 		}
 		n.switches[s] = node
@@ -388,19 +401,14 @@ func (n *Network) Start() {
 // is dropped and counted).  The transport layer uses it to send
 // message segments.
 func (n *Network) InjectPacket(f *Flow, payload int, tag int64) bool {
-	now := n.Engine.Now()
-	pkt := &Packet{
-		Flow: f, VL: f.VL, Dst: f.Dst,
-		Wire: payload + sl.HeaderBytes, Injected: now, Tag: tag,
-	}
 	host := n.hosts[f.Src]
-	if host.qLen[f.VL] >= n.queueCap(f) {
+	if host.queues[f.VL].len() >= n.queueCap(f) {
 		f.Drops++
 		n.totalDropped++
 		return false
 	}
-	host.queues[f.VL] = append(host.queues[f.VL], pkt)
-	host.qLen[f.VL]++
+	pkt := n.newPacket(f, f.VL, f.Dst, payload+sl.HeaderBytes, n.Engine.Now(), tag)
+	host.queues[f.VL].push(pkt)
 	n.totalInjected++
 	f.genPkts++
 	if n.measuring {
@@ -419,7 +427,7 @@ func (n *Network) StartFlow(f *Flow) {
 	if f.IAT > 1 {
 		phase = n.rng.Int63n(f.IAT)
 	}
-	n.Engine.At(n.Engine.Now()+phase, func() { n.generate(f) })
+	n.Engine.Post(n.Engine.Now()+phase, n, sim.Event{Kind: evGenerate, P: f})
 }
 
 // StopGeneration stops all sources after their current packet; used by
@@ -456,15 +464,13 @@ func (n *Network) generate(f *Flow) {
 	if n.genStopped || f.stopped {
 		return
 	}
-	now := n.Engine.Now()
-	pkt := &Packet{Flow: f, VL: f.VL, Dst: f.Dst, Wire: f.Wire, Injected: now}
 	host := n.hosts[f.Src]
-	if host.qLen[f.VL] >= n.queueCap(f) {
+	if host.queues[f.VL].len() >= n.queueCap(f) {
 		f.Drops++
 		n.totalDropped++
 	} else {
-		host.queues[f.VL] = append(host.queues[f.VL], pkt)
-		host.qLen[f.VL]++
+		pkt := n.newPacket(f, f.VL, f.Dst, f.Wire, n.Engine.Now(), 0)
+		host.queues[f.VL].push(pkt)
 		n.totalInjected++
 		f.genPkts++
 		if n.measuring {
@@ -477,7 +483,7 @@ func (n *Network) generate(f *Flow) {
 	if f.pacing != nil {
 		gap = f.pacing()
 	}
-	n.Engine.After(gap, func() { n.generate(f) })
+	n.Engine.PostAfter(gap, n, sim.Event{Kind: evGenerate, P: f})
 }
 
 // kickHost schedules a scheduling pass at the host interface.
@@ -487,7 +493,7 @@ func (n *Network) kickHost(h int) {
 		return
 	}
 	host.out.pending = true
-	n.Engine.Defer(host.out.kickFn)
+	n.Engine.DeferEvent(n, sim.Event{Kind: evTryHost, A: int32(h)})
 }
 
 // tryHost runs one arbitration decision at a host interface.
@@ -499,7 +505,7 @@ func (n *Network) tryHost(h int) {
 	}
 	if n.Faults != nil {
 		if until := n.Faults.BlockedUntil(faults.HostKey(h), now); until > now {
-			n.Engine.At(until, func() { n.kickHost(h) })
+			n.Engine.Post(until, n, sim.Event{Kind: evKickHost, A: int32(h)})
 			return
 		}
 	}
@@ -507,25 +513,22 @@ func (n *Network) tryHost(h int) {
 	capacity := n.bufferCapacity()
 
 	// Subnet management (VL 15) preempts all data lanes.
-	if q := host.queues[arbtable.MgmtVL]; len(q) > 0 &&
-		down.occ[arbtable.MgmtVL]+q[0].Wire <= capacity {
-		pkt := q[0]
-		host.queues[arbtable.MgmtVL] = q[1:]
-		host.qLen[arbtable.MgmtVL]--
-		n.transmit(&host.out, pkt, nil, func() { n.kickHost(h) })
+	if q := &host.queues[arbtable.MgmtVL]; q.len() > 0 &&
+		down.occ[arbtable.MgmtVL]+q.front().Wire <= capacity {
+		n.transmit(&host.out, q.pop(), -1)
 		return
 	}
 
 	var ready arbtable.Ready
 	for vl := 0; vl < arbtable.NumDataVLs; vl++ {
-		q := host.queues[vl]
-		if len(q) == 0 {
+		q := &host.queues[vl]
+		if q.len() == 0 {
 			continue
 		}
-		if down.occ[vl]+q[0].Wire > capacity {
+		if down.occ[vl]+q.front().Wire > capacity {
 			continue // no credit
 		}
-		ready[vl] = q[0].Wire
+		ready[vl] = q.front().Wire
 	}
 	vl, _, ok := host.out.arb.Pick(&ready)
 	if !ok {
@@ -534,12 +537,10 @@ func (n *Network) tryHost(h int) {
 	if host.out.pt.Programming() {
 		host.out.pt.NoteStalePick()
 	}
-	pkt := host.queues[vl][0]
-	host.queues[vl] = host.queues[vl][1:]
-	host.qLen[vl]--
+	pkt := host.queues[vl].pop()
 	if m := n.Metrics; m != nil {
 		m.AddVLBytes(vl, pkt.Wire)
-		m.ObserveQueueDepth(int64(host.qLen[vl]))
+		m.ObserveQueueDepth(int64(host.queues[vl].len()))
 	}
 	if t := n.Engine.Trace; t != nil {
 		lp := host.out.arb.Last()
@@ -548,7 +549,7 @@ func (n *Network) tryHost(h int) {
 			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
 		})
 	}
-	n.transmit(&host.out, pkt, nil, func() { n.kickHost(h) })
+	n.transmit(&host.out, pkt, -1)
 }
 
 // kickSwitch schedules a scheduling pass at a switch output port.
@@ -558,7 +559,7 @@ func (n *Network) kickSwitch(s, p int) {
 		return
 	}
 	out.pending = true
-	n.Engine.Defer(out.kickFn)
+	n.Engine.DeferEvent(n, sim.Event{Kind: evTrySwitch, A: int32(s), B: int32(p)})
 }
 
 // kickHeadsOfInput re-arms exactly the output ports that the head
@@ -567,11 +568,11 @@ func (n *Network) kickSwitch(s, p int) {
 func (n *Network) kickHeadsOfInput(s, i int) {
 	in := &n.switches[s].in[i]
 	for vl := 0; vl < arbtable.NumVLs; vl++ {
-		q := in.queues[vl]
-		if len(q) == 0 {
+		q := &in.queues[vl]
+		if q.len() == 0 {
 			continue
 		}
-		n.kickSwitch(s, n.Routes.NextPort(s, q[0].Dst))
+		n.kickSwitch(s, n.Routes.NextPort(s, q.front().Dst))
 	}
 }
 
@@ -588,7 +589,7 @@ func (n *Network) trySwitch(s, p int) {
 	}
 	if n.Faults != nil {
 		if until := n.Faults.BlockedUntil(faults.SwitchPortKey(s, p), now); until > now {
-			n.Engine.At(until, func() { n.kickSwitch(s, p) })
+			n.Engine.Post(until, n, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(p)})
 			return
 		}
 	}
@@ -606,26 +607,26 @@ func (n *Network) trySwitch(s, p int) {
 		for k := 0; k < topology.SwitchPorts; k++ {
 			i := (out.rr[vl] + k) % topology.SwitchPorts
 			in := &node.in[i]
-			q := in.queues[vl]
-			if len(q) == 0 || in.busyUntil > now {
+			q := &in.queues[vl]
+			if q.len() == 0 || in.busyUntil > now {
 				continue
 			}
-			pkt := q[0]
+			pkt := q.front()
 			if n.Routes.NextPort(s, pkt.Dst) != p {
 				continue
 			}
 			if down != nil && down.occ[vl]+pkt.Wire > capacity {
 				continue
 			}
-			in.queues[vl] = q[1:]
+			q.pop()
 			out.rr[vl] = (i + 1) % topology.SwitchPorts
 			xfer := int64(pkt.Wire) / int64(n.Cfg.CrossbarSpeedup)
 			if xfer < 1 {
 				xfer = 1
 			}
 			in.busyUntil = now + xfer
-			n.Engine.At(now+xfer, func() { n.kickHeadsOfInput(s, i) })
-			n.transmit(out, pkt, in, func() { n.kickSwitch(s, p) })
+			n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
+			n.transmit(out, pkt, switchCode(s, i))
 			return
 		}
 	}
@@ -636,11 +637,11 @@ func (n *Network) trySwitch(s, p int) {
 		for k := 0; k < topology.SwitchPorts; k++ {
 			i := (out.rr[vl] + k) % topology.SwitchPorts
 			in := &node.in[i]
-			q := in.queues[vl]
-			if len(q) == 0 || in.busyUntil > now {
+			q := &in.queues[vl]
+			if q.len() == 0 || in.busyUntil > now {
 				continue
 			}
-			pkt := q[0]
+			pkt := q.front()
 			if n.Routes.NextPort(s, pkt.Dst) != p {
 				continue
 			}
@@ -661,11 +662,10 @@ func (n *Network) trySwitch(s, p int) {
 	}
 	i := src[vl]
 	in := &node.in[i]
-	pkt := in.queues[vl][0]
-	in.queues[vl] = in.queues[vl][1:]
+	pkt := in.queues[vl].pop()
 	if m := n.Metrics; m != nil {
 		m.AddVLBytes(vl, pkt.Wire)
-		m.ObserveQueueDepth(int64(len(in.queues[vl])))
+		m.ObserveQueueDepth(int64(in.queues[vl].len()))
 	}
 	if t := n.Engine.Trace; t != nil {
 		lp := out.arb.Last()
@@ -680,18 +680,19 @@ func (n *Network) trySwitch(s, p int) {
 		xfer = 1
 	}
 	in.busyUntil = now + xfer
-	n.Engine.At(now+xfer, func() { n.kickHeadsOfInput(s, i) })
+	n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
 
-	n.transmit(out, pkt, in, func() {
-		n.kickSwitch(s, p)
-	})
+	n.transmit(out, pkt, switchCode(s, i))
 }
 
 // transmit puts pkt on out's wire: reserves downstream buffer space,
 // occupies the link for the packet duration, schedules the arrival and
-// the completion kick, and releases the source buffer (crediting its
-// upstream) when the packet has fully left.
-func (n *Network) transmit(out *outPort, pkt *Packet, srcBuf *inPort, onDone func()) {
+// the completion event that releases the source buffer (crediting its
+// upstream) when the packet has fully left.  srcCode names the switch
+// input buffer the packet came from (-1 when it came from a host send
+// queue); the completion and arrival are typed events, so a forwarded
+// packet costs no allocation.
+func (n *Network) transmit(out *outPort, pkt *Packet, srcCode int32) {
 	now := n.Engine.Now()
 	dur := int64(pkt.Wire)
 	out.busyUntil = now + dur
@@ -704,23 +705,13 @@ func (n *Network) transmit(out *outPort, pkt *Packet, srcBuf *inPort, onDone fun
 		down.occ[pkt.VL] += pkt.Wire // credit consumed at send time
 	}
 
-	vl := pkt.VL
-	n.Engine.At(now+dur, func() {
-		if srcBuf != nil {
-			// The packet has left the input buffer: return the credit
-			// to whoever feeds it.
-			srcBuf.occ[vl] -= pkt.Wire
-			switch {
-			case srcBuf.upSwitch >= 0:
-				n.kickSwitch(srcBuf.upSwitch, srcBuf.upPort)
-			case srcBuf.upHost >= 0:
-				n.kickHost(srcBuf.upHost)
-			}
-		}
-		onDone()
+	n.Engine.Post(now+dur, n, sim.Event{
+		Kind: evXmitDone, A: out.code, B: srcCode,
+		N: int64(pkt.VL)<<32 | int64(pkt.Wire),
 	})
-
-	n.Engine.At(now+dur+n.Cfg.LinkLatency, func() { n.arrive(out, pkt) })
+	n.Engine.Post(now+dur+n.Cfg.LinkLatency, n, sim.Event{
+		Kind: evArrive, A: out.code, B: int32(pkt.gen), P: pkt,
+	})
 }
 
 // arrive lands a packet at the far end of a link: delivery when the
@@ -732,34 +723,35 @@ func (n *Network) arrive(out *outPort, pkt *Packet) {
 	}
 	s := out.downSwitch
 	in := &n.switches[s].in[out.downPort]
-	in.queues[pkt.VL] = append(in.queues[pkt.VL], pkt)
+	in.queues[pkt.VL].push(pkt)
 	n.kickSwitch(s, n.Routes.NextPort(s, pkt.Dst))
 }
 
-// deliver records a packet reaching its destination host.
+// deliver records a packet reaching its destination host and recycles
+// the packet record.
 func (n *Network) deliver(pkt *Packet) {
 	n.totalDelivered++
 	pkt.Flow.delPkts++
+	if n.measuring {
+		f := pkt.Flow
+		now := n.Engine.Now()
+		f.Delivered.Add(pkt.Wire)
+		n.deliveredBytes += int64(pkt.Wire)
+		if f.QoS && f.Deadline > 0 {
+			delay := now - pkt.Injected
+			f.Delay.Add(float64(delay) / float64(f.Deadline))
+			n.Metrics.CountDelivery(delay > f.Deadline)
+		}
+		if f.lastArrival >= 0 && f.IAT > 0 {
+			dev := float64(now-f.lastArrival-f.IAT) / float64(f.IAT)
+			f.Jitter.Add(dev)
+		}
+		f.lastArrival = now
+	}
 	if n.OnDeliver != nil {
-		defer n.OnDeliver(pkt)
+		n.OnDeliver(pkt)
 	}
-	if !n.measuring {
-		return
-	}
-	f := pkt.Flow
-	now := n.Engine.Now()
-	f.Delivered.Add(pkt.Wire)
-	n.deliveredBytes += int64(pkt.Wire)
-	if f.QoS && f.Deadline > 0 {
-		delay := now - pkt.Injected
-		f.Delay.Add(float64(delay) / float64(f.Deadline))
-		n.Metrics.CountDelivery(delay > f.Deadline)
-	}
-	if f.lastArrival >= 0 && f.IAT > 0 {
-		dev := float64(now-f.lastArrival-f.IAT) / float64(f.IAT)
-		f.Jitter.Add(dev)
-	}
-	f.lastArrival = now
+	n.freePacket(pkt)
 }
 
 // StartMeasurement begins the steady-state window: per-flow statistics
@@ -797,13 +789,13 @@ func (n *Network) QueuedPackets() int64 {
 	var q int64
 	for _, h := range n.hosts {
 		for vl := range h.queues {
-			q += int64(len(h.queues[vl]))
+			q += int64(h.queues[vl].len())
 		}
 	}
 	for _, s := range n.switches {
 		for p := range s.in {
 			for vl := range s.in[p].queues {
-				q += int64(len(s.in[p].queues[vl]))
+				q += int64(s.in[p].queues[vl].len())
 			}
 		}
 	}
@@ -905,8 +897,8 @@ func (n *Network) CheckBuffers() error {
 						s.id, p, vl, occ, capacity)
 				}
 				queued := 0
-				for _, pkt := range in.queues[vl] {
-					queued += pkt.Wire
+				for k := 0; k < in.queues[vl].len(); k++ {
+					queued += in.queues[vl].at(k).Wire
 				}
 				if queued > occ {
 					return fmt.Errorf("fabric: switch %d port %d VL %d queued %d bytes > occupancy %d",

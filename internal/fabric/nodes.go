@@ -13,7 +13,7 @@ import (
 // when the packet leaves the buffer, so credits can never be
 // overcommitted while a packet is on the wire.
 type inPort struct {
-	queues [arbtable.NumVLs][]*Packet
+	queues [arbtable.NumVLs]pktQueue
 	occ    [arbtable.NumVLs]int // reserved bytes per VL buffer
 	// busyUntil models the multiplexed crossbar: only one VL of an
 	// input port can be transmitting through the switch at a time.
@@ -39,10 +39,10 @@ type outPort struct {
 	// table program is in flight (stale epoch).
 	pt *core.PortTable
 
-	// kickFn is the preallocated deferred-kick closure for this port,
-	// built once at network construction so the hot path allocates
-	// nothing.
-	kickFn func()
+	// code is this port's typed-event operand (see portCode): the
+	// scheduling-pass and transmit-completion events name the port by
+	// it instead of capturing it in a closure.
+	code int32
 
 	// Round-robin cursor among input ports, per VL, so equal-VL heads
 	// at different inputs share the output fairly.
@@ -71,8 +71,7 @@ type swNode struct {
 // that consumes at link rate (deliveries are recorded immediately).
 type hostNode struct {
 	id     int
-	queues [arbtable.NumVLs][]*Packet
-	qLen   [arbtable.NumVLs]int // packets queued per VL
+	queues [arbtable.NumVLs]pktQueue
 	out    outPort
 }
 

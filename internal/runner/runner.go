@@ -33,6 +33,15 @@ type Job[T any] struct {
 	Name string
 	Seed int64
 	Run  func(ctx context.Context, seed int64) (T, error)
+
+	// RunState, when non-nil, takes precedence over Run and additionally
+	// receives the per-worker state built by Options.WorkerState (nil
+	// when no WorkerState is configured).  Sweeps use it to reuse
+	// expensive warm structures — e.g. one simulation engine per worker,
+	// Reset between jobs — without coupling results to worker identity:
+	// the state must be behavior-neutral, so results stay bit-identical
+	// to a stateless run.
+	RunState func(ctx context.Context, seed int64, state any) (T, error)
 }
 
 // Result is the outcome of one job, reported at the job's input index.
@@ -51,6 +60,12 @@ type Options struct {
 	// Workers bounds concurrency; <= 0 selects the package default
 	// (SetDefaultWorkers, falling back to GOMAXPROCS).
 	Workers int
+
+	// WorkerState, when non-nil, runs once per worker goroutine before
+	// its first job; every job the worker executes receives the value
+	// through Job.RunState.  The state is confined to one goroutine for
+	// the sweep's lifetime, so it needs no locking.
+	WorkerState func() any
 }
 
 // defaultWorkers holds the -parallel override; 0 means GOMAXPROCS.
@@ -106,8 +121,12 @@ func Sweep[T any](ctx context.Context, jobs []Job[T], opt Options) []Result[T] {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var state any
+			if opt.WorkerState != nil {
+				state = opt.WorkerState()
+			}
 			for i := range indices {
-				results[i] = execute(ctx, i, jobs[i])
+				results[i] = execute(ctx, i, jobs[i], state)
 			}
 		}()
 	}
@@ -130,7 +149,7 @@ feed:
 }
 
 // execute runs one job with panic capture.
-func execute[T any](ctx context.Context, i int, job Job[T]) (res Result[T]) {
+func execute[T any](ctx context.Context, i int, job Job[T], state any) (res Result[T]) {
 	res = Result[T]{Index: i, Name: job.Name, Seed: job.Seed}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
@@ -144,7 +163,11 @@ func execute[T any](ctx context.Context, i int, job Job[T]) (res Result[T]) {
 			res.Err = fmt.Errorf("runner: job %d (%s) panicked: %v", i, job.Name, r)
 		}
 	}()
-	res.Value, res.Err = job.Run(ctx, job.Seed)
+	if job.RunState != nil {
+		res.Value, res.Err = job.RunState(ctx, job.Seed, state)
+	} else {
+		res.Value, res.Err = job.Run(ctx, job.Seed)
+	}
 	return res
 }
 

@@ -1,30 +1,115 @@
 // Package sim provides a deterministic discrete-event simulation
 // engine.  Time is an integer count of byte times (the time one byte
 // needs on a 1x InfiniBand data link); all models in the fabric
-// schedule closures on a single engine, so a run is single-goroutine
-// and fully reproducible.  Parallelism in the benchmark harness comes
-// from running independent engines concurrently, one per
-// configuration.
+// schedule work on a single engine, so a run is single-goroutine and
+// fully reproducible.  Parallelism in the benchmark harness comes from
+// running independent engines concurrently, one per configuration.
+//
+// # Typed events
+//
+// The hot path schedules typed events (Post, PostAfter, DeferEvent): a
+// small self-describing Event union dispatched to a Handler, instead
+// of a heap-allocated closure per hop.  Event records live in a pooled
+// slab indexed by a 4-ary heap, so steady-state scheduling allocates
+// nothing: executed records return to a free-list and are reused by
+// the next Post.  The closure API (At, After, Defer) remains for cold
+// paths and tests; both kinds share one sequence-number space, so FIFO
+// order among simultaneous events is preserved regardless of which API
+// scheduled them.
+//
+// PostTimer returns a cancelable handle: Cancel removes the event from
+// the heap in O(log n) and recycles its record.  Generation counters
+// on the records make stale handles (fired, canceled, or recycled
+// events) harmless — Cancel on one is a no-op returning false.
 package sim
 
 import (
-	"container/heap"
-
 	"repro/internal/metrics"
 )
+
+// Kind discriminates the cases of a typed Event.  Each Handler owns
+// its private kind space; the engine never interprets kinds.
+type Kind int32
+
+// Event is one typed, self-describing unit of scheduled work.  The
+// operand fields carry whatever the handler's kind needs: small
+// integers in A and B, a packed wide operand in N, and at most one
+// pointer-shaped payload in P (storing a pointer in an interface does
+// not allocate).
+type Event struct {
+	Kind Kind
+	A, B int32
+	N    int64
+	P    any
+}
+
+// Handler dispatches typed events.  Models implement it with a switch
+// over their kind space; the engine calls it once per executed typed
+// event.
+type Handler interface {
+	HandleEvent(ev Event)
+}
+
+// Timer is a cancelable handle to a scheduled typed event.  The zero
+// Timer is never armed.  A Timer stays valid after its event fired or
+// was canceled: Cancel simply reports false.
+type Timer struct {
+	slot int32  // record slot + 1; 0 = never armed
+	gen  uint32 // record generation at scheduling time
+}
+
+// record is one pooled event-record slot.  Free slots chain through
+// pos (encoded as next+1); queued slots use pos as their heap index.
+type record struct {
+	at  int64
+	seq uint64 // tie-break: FIFO among simultaneous events
+	gen uint32 // bumped on every release; stale Timers can't match
+	pos int32
+	h   Handler
+	ev  Event
+	fn  func() // closure path; nil for typed events
+}
+
+// deferredWork is one same-instant follow-up, typed or closure.
+type deferredWork struct {
+	h  Handler
+	ev Event
+	fn func()
+}
 
 // Engine is a discrete-event scheduler.  The zero value is ready to
 // use.  It is not safe for concurrent use.
 type Engine struct {
 	now    int64
-	queue  eventHeap
 	nextID uint64
 	count  uint64 // events executed
 
-	// deferred holds zero-delay work scheduled from within the
-	// current event; it runs FIFO at the same timestamp without
-	// touching the heap.
-	deferred []func()
+	// Pooled event records and the 4-ary indexed heap ordering them by
+	// (at, seq).  The heap holds slot indices; records never move, so
+	// Timers can address them across sift operations.
+	records []record
+	heap    []int32
+	free    int32 // free-list head, encoded slot+1; 0 = empty
+
+	// deferred holds zero-delay work scheduled from within the current
+	// event; it runs FIFO at the same timestamp without touching the
+	// heap.
+	deferred []deferredWork
+
+	// PoolDisabled, when set before a run, stops record recycling:
+	// every Post takes a fresh slot from the slab.  Runs with and
+	// without pooling are bit-identical (the determinism property
+	// tests rely on this knob); it exists only for those tests.
+	PoolDisabled bool
+
+	// High-water and pool counters (see Stats).
+	scheduled   uint64
+	canceled    uint64
+	poolReuse   uint64
+	poolGrow    uint64
+	maxHeap     int
+	maxDeferred int
+	resets      uint64
 
 	// Trace, when non-nil, is the event-trace ring the models driven
 	// by this engine record their scheduling decisions into (the
@@ -34,64 +119,203 @@ type Engine struct {
 	Trace *metrics.TraceBuffer
 }
 
-type event struct {
-	at int64
-	id uint64 // tie-break: FIFO among simultaneous events
-	fn func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].id < h[j].id
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Now returns the current simulation time in byte times.
 func (e *Engine) Now() int64 { return e.now }
 
 // Executed returns the number of events processed so far.
 func (e *Engine) Executed() uint64 { return e.count }
 
-// Pending returns the number of scheduled, unexecuted events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of scheduled, unexecuted heap events
+// (deferred same-instant work is not counted, matching Step's notion
+// of "the queue").
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Grow preallocates capacity for n in-flight events, so a simulation
+// sized in advance never grows the record slab or heap mid-run.
+func (e *Engine) Grow(n int) {
+	if cap(e.records) < n {
+		r := make([]record, len(e.records), n)
+		copy(r, e.records)
+		e.records = r
+	}
+	if cap(e.heap) < n {
+		h := make([]int32, len(e.heap), n)
+		copy(h, e.heap)
+		e.heap = h
+	}
+}
+
+// Stats exports the engine's event-pool and heap-depth counters.
+func (e *Engine) Stats() metrics.EngineCounters {
+	return metrics.EngineCounters{
+		Scheduled:    int64(e.scheduled),
+		Executed:     int64(e.count),
+		Canceled:     int64(e.canceled),
+		MaxHeapDepth: int64(e.maxHeap),
+		MaxDeferred:  int64(e.maxDeferred),
+		PoolReuse:    int64(e.poolReuse),
+		PoolGrow:     int64(e.poolGrow),
+		Resets:       int64(e.resets),
+	}
+}
+
+// Reset returns the engine to its zero state while keeping the
+// capacity of the record slab, heap and deferred queue, so one engine
+// can be reused across the points of a sweep without reallocating its
+// working set.  Record generations survive (bumped), so Timers from
+// before the Reset can never cancel events of the next run.  The
+// trace buffer is detached; cumulative pool/heap statistics persist
+// across resets (Resets counts them).
+func (e *Engine) Reset() {
+	e.now, e.nextID, e.count = 0, 0, 0
+	for i := range e.deferred {
+		e.deferred[i] = deferredWork{}
+	}
+	e.deferred = e.deferred[:0]
+	for i := range e.records {
+		gen := e.records[i].gen
+		e.records[i] = record{gen: gen + 1}
+	}
+	e.records = e.records[:0]
+	e.heap = e.heap[:0]
+	e.free = 0
+	e.Trace = nil
+	e.resets++
+}
+
+// --- scheduling ---
 
 // At schedules fn to run at the absolute time t.  Scheduling in the
 // past (t < Now) panics: it would silently corrupt causality.
 func (e *Engine) At(t int64, fn func()) {
-	if t < e.now {
-		panic("sim: event scheduled in the past")
-	}
-	heap.Push(&e.queue, event{at: t, id: e.nextID, fn: fn})
-	e.nextID++
+	e.schedule(t, nil, Event{}, fn)
 }
 
 // After schedules fn to run d byte times from now.
 func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
 
+// Post schedules a typed event for h at the absolute time t.  Like At
+// it panics on t < Now.
+func (e *Engine) Post(t int64, h Handler, ev Event) {
+	e.schedule(t, h, ev, nil)
+}
+
+// PostAfter schedules a typed event d byte times from now.
+func (e *Engine) PostAfter(d int64, h Handler, ev Event) {
+	e.schedule(e.now+d, h, ev, nil)
+}
+
+// PostTimer schedules a typed event at the absolute time t and returns
+// a handle that can cancel it.
+func (e *Engine) PostTimer(t int64, h Handler, ev Event) Timer {
+	return e.schedule(t, h, ev, nil)
+}
+
+// PostTimerAfter schedules a cancelable typed event d byte times from
+// now.
+func (e *Engine) PostTimerAfter(d int64, h Handler, ev Event) Timer {
+	return e.schedule(e.now+d, h, ev, nil)
+}
+
+// Cancel removes a scheduled typed event before it fires.  It reports
+// false — and does nothing — when the handle is zero, already fired,
+// already canceled, or from before a Reset, so settling code can
+// cancel unconditionally.
+func (e *Engine) Cancel(t Timer) bool {
+	if t.slot == 0 {
+		return false
+	}
+	slot := t.slot - 1
+	if int(slot) >= len(e.records) {
+		return false
+	}
+	r := &e.records[slot]
+	if r.gen != t.gen {
+		return false // fired, canceled, recycled, or pre-Reset
+	}
+	e.removeAt(int(r.pos))
+	e.release(slot)
+	e.canceled++
+	return true
+}
+
 // Defer schedules fn to run at the current timestamp, after the
 // currently executing event (and previously deferred work) finishes.
 // It is the cheap path for same-instant follow-ups — no heap insert.
-func (e *Engine) Defer(fn func()) { e.deferred = append(e.deferred, fn) }
+func (e *Engine) Defer(fn func()) {
+	e.deferred = append(e.deferred, deferredWork{fn: fn})
+	if len(e.deferred) > e.maxDeferred {
+		e.maxDeferred = len(e.deferred)
+	}
+}
+
+// DeferEvent is Defer for a typed event: same-instant FIFO follow-up
+// with no heap insert and no closure.
+func (e *Engine) DeferEvent(h Handler, ev Event) {
+	e.deferred = append(e.deferred, deferredWork{h: h, ev: ev})
+	if len(e.deferred) > e.maxDeferred {
+		e.maxDeferred = len(e.deferred)
+	}
+}
+
+// schedule allocates a record for one event (typed or closure) and
+// pushes it on the heap.
+func (e *Engine) schedule(t int64, h Handler, ev Event, fn func()) Timer {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	slot := e.alloc()
+	r := &e.records[slot]
+	r.at, r.seq = t, e.nextID
+	r.h, r.ev, r.fn = h, ev, fn
+	e.nextID++
+	e.scheduled++
+	e.push(slot)
+	return Timer{slot: slot + 1, gen: r.gen}
+}
+
+// alloc takes a record slot from the free-list, or grows the slab.
+func (e *Engine) alloc() int32 {
+	if e.free != 0 && !e.PoolDisabled {
+		slot := e.free - 1
+		e.free = e.records[slot].pos
+		e.poolReuse++
+		return slot
+	}
+	e.records = append(e.records, record{})
+	e.poolGrow++
+	return int32(len(e.records) - 1)
+}
+
+// release returns a slot to the free-list, bumping its generation so
+// stale Timers addressing it can never match again, and dropping its
+// payload references.
+func (e *Engine) release(slot int32) {
+	r := &e.records[slot]
+	r.gen++
+	r.h, r.fn = nil, nil
+	r.ev = Event{}
+	if e.PoolDisabled {
+		return
+	}
+	r.pos = e.free
+	e.free = slot + 1
+}
+
+// --- execution ---
 
 // drainDeferred runs deferred work until none is left.  Deferred
 // functions may defer more work; it runs in FIFO order.
 func (e *Engine) drainDeferred() {
 	for i := 0; i < len(e.deferred); i++ {
+		d := e.deferred[i]
+		e.deferred[i] = deferredWork{}
 		e.count++
-		e.deferred[i]()
+		if d.fn != nil {
+			d.fn()
+		} else {
+			d.h.HandleEvent(d.ev)
+		}
 	}
 	e.deferred = e.deferred[:0]
 }
@@ -104,13 +328,20 @@ func (e *Engine) Step() bool {
 		e.drainDeferred()
 		return true
 	}
-	if e.queue.Len() == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
-	e.now = ev.at
+	slot := e.popMin()
+	r := &e.records[slot]
+	e.now = r.at
+	h, ev, fn := r.h, r.ev, r.fn
+	e.release(slot) // before dispatch: the handler may schedule into this slot
 	e.count++
-	ev.fn()
+	if fn != nil {
+		fn()
+	} else {
+		h.HandleEvent(ev)
+	}
 	e.drainDeferred()
 	return true
 }
@@ -120,7 +351,7 @@ func (e *Engine) Step() bool {
 // time).  Events scheduled exactly at until are executed.
 func (e *Engine) Run(until int64) {
 	e.drainDeferred()
-	for e.queue.Len() > 0 && e.queue[0].at <= until {
+	for len(e.heap) > 0 && e.records[e.heap[0]].at <= until {
 		e.Step()
 	}
 	if e.now < until {
@@ -133,4 +364,100 @@ func (e *Engine) Run(until int64) {
 func (e *Engine) RunWhile(cond func() bool) {
 	for cond() && e.Step() {
 	}
+}
+
+// --- 4-ary indexed heap over record slots, ordered by (at, seq) ---
+
+// less orders two record slots by time, then by scheduling order.
+func (e *Engine) less(a, b int32) bool {
+	ra, rb := &e.records[a], &e.records[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+// push appends a slot and restores the heap property upward.
+func (e *Engine) push(slot int32) {
+	e.heap = append(e.heap, slot)
+	e.records[slot].pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+	if len(e.heap) > e.maxHeap {
+		e.maxHeap = len(e.heap)
+	}
+}
+
+// popMin removes and returns the earliest slot.
+func (e *Engine) popMin() int32 {
+	root := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.records[e.heap[0]].pos = 0
+		e.siftDown(0)
+	}
+	return root
+}
+
+// removeAt deletes the heap element at index i (for Cancel).
+func (e *Engine) removeAt(i int) {
+	last := len(e.heap) - 1
+	moved := e.heap[last]
+	e.heap[i] = moved
+	e.heap = e.heap[:last]
+	if i < last {
+		e.records[moved].pos = int32(i)
+		e.siftDown(i)
+		e.siftUp(int(e.records[moved].pos))
+	}
+}
+
+// siftUp moves the element at index i toward the root until its parent
+// is no later.
+func (e *Engine) siftUp(i int) {
+	slot := e.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		ps := e.heap[p]
+		if !e.less(slot, ps) {
+			break
+		}
+		e.heap[i] = ps
+		e.records[ps].pos = int32(i)
+		i = p
+	}
+	e.heap[i] = slot
+	e.records[slot].pos = int32(i)
+}
+
+// siftDown moves the element at index i toward the leaves until no
+// child is earlier.
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	slot := e.heap[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if e.less(e.heap[k], e.heap[best]) {
+				best = k
+			}
+		}
+		if !e.less(e.heap[best], slot) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.records[e.heap[i]].pos = int32(i)
+		i = best
+	}
+	e.heap[i] = slot
+	e.records[slot].pos = int32(i)
 }

@@ -199,3 +199,136 @@ func TestDeferNested(t *testing.T) {
 		t.Errorf("nested deferred depth = %d, want 50", depth)
 	}
 }
+
+// recorder is a test Handler that logs the A operand of every event it
+// receives.
+type recorder struct{ got []int32 }
+
+func (r *recorder) HandleEvent(ev Event) { r.got = append(r.got, ev.A) }
+
+func TestTypedAndClosureEventsShareFIFO(t *testing.T) {
+	var e Engine
+	r := &recorder{}
+	order := []int32{}
+	e.Post(5, r, Event{A: 1})
+	e.At(5, func() { order = append(order, -2) })
+	e.Post(5, r, Event{A: 3})
+	e.DeferEvent(r, Event{A: 0})
+	e.Run(10)
+	// The deferred event runs first (time 0), then the three
+	// simultaneous events at t=5 in posting order.
+	want := []int32{0, 1, 3}
+	if len(r.got) != 3 || r.got[0] != want[0] || r.got[1] != want[1] || r.got[2] != want[2] {
+		t.Fatalf("typed order = %v, want %v", r.got, want)
+	}
+	if len(order) != 1 {
+		t.Fatalf("closure at t=5 ran %d times", len(order))
+	}
+}
+
+func TestCancelRemovesTimer(t *testing.T) {
+	var e Engine
+	r := &recorder{}
+	tm := e.PostTimerAfter(10, r, Event{A: 7})
+	keep := e.PostTimerAfter(20, r, Event{A: 8})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	if !e.Cancel(tm) {
+		t.Fatal("Cancel of an armed timer returned false")
+	}
+	if e.Cancel(tm) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run(30)
+	if len(r.got) != 1 || r.got[0] != 8 {
+		t.Fatalf("events after cancel = %v, want [8]", r.got)
+	}
+	if e.Cancel(keep) {
+		t.Fatal("Cancel of a fired timer returned true")
+	}
+	if s := e.Stats(); s.Canceled != 1 {
+		t.Errorf("Canceled = %d, want 1", s.Canceled)
+	}
+}
+
+func TestZeroTimerCancelIsNoop(t *testing.T) {
+	var e Engine
+	var tm Timer
+	if e.Cancel(tm) {
+		t.Fatal("Cancel of the zero Timer returned true")
+	}
+}
+
+// TestEngineReset: a Reset engine must behave exactly like a zero one,
+// and handles from before the Reset must be inert.
+func TestEngineReset(t *testing.T) {
+	runWorkload := func(e *Engine) []int32 {
+		r := &recorder{}
+		e.Post(3, r, Event{A: 1})
+		e.Post(1, r, Event{A: 2})
+		e.At(2, func() { e.PostAfter(2, r, Event{A: 3}) })
+		e.Run(10)
+		return r.got
+	}
+	var fresh Engine
+	want := runWorkload(&fresh)
+
+	var e Engine
+	r := &recorder{}
+	e.Post(4, r, Event{A: 9})
+	stale := e.PostTimer(100, r, Event{A: 10})
+	e.Run(5) // leaves the t=100 timer pending
+	e.Reset()
+
+	if e.Now() != 0 || e.Pending() != 0 || e.Executed() != 0 {
+		t.Fatalf("Reset engine not pristine: now=%d pending=%d executed=%d",
+			e.Now(), e.Pending(), e.Executed())
+	}
+	if e.Cancel(stale) {
+		t.Fatal("a pre-Reset timer canceled a post-Reset slot")
+	}
+	if got := runWorkload(&e); len(got) != len(want) {
+		t.Fatalf("post-Reset run = %v, want %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("post-Reset run = %v, want %v", got, want)
+			}
+		}
+	}
+	if s := e.Stats(); s.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", s.Resets)
+	}
+}
+
+// TestPoolDisabledBitIdentical: the engine's own record pooling is
+// invisible — a run with PoolDisabled executes the same events at the
+// same times in the same order.
+func TestPoolDisabledBitIdentical(t *testing.T) {
+	run := func(disable bool) []int32 {
+		e := Engine{PoolDisabled: disable}
+		r := &recorder{}
+		var step func()
+		n := int32(0)
+		step = func() {
+			if n < 200 {
+				n++
+				e.Post(e.Now()+int64(n%7)+1, r, Event{A: n})
+				e.After(int64(n%5)+1, step)
+			}
+		}
+		e.At(0, step)
+		e.Run(2000)
+		return r.got
+	}
+	pooled, plain := run(false), run(true)
+	if len(pooled) != len(plain) {
+		t.Fatalf("lengths differ: %d vs %d", len(pooled), len(plain))
+	}
+	for i := range pooled {
+		if pooled[i] != plain[i] {
+			t.Fatalf("event %d differs: %d vs %d", i, pooled[i], plain[i])
+		}
+	}
+}

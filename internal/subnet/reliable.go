@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mad"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 // This file is the programmer's reliable delivery mode: the fault-
@@ -59,10 +60,41 @@ func DefaultRetryProfile() RetryProfile {
 // reliable delivery.
 func (r RetryProfile) Enabled() bool { return r.MaxAttempts > 0 }
 
+// Typed-event kinds of the reliable control plane.  Both are armed as
+// cancelable timers: settling a transaction cancels them outright, so
+// no timer of a finished transaction ever fires (they used to linger
+// in the heap as no-op closures until their deadline passed).
+const (
+	// evBlockTimeout declares the response to block A's attempt-B send
+	// lost; P is the transaction.
+	evBlockTimeout sim.Kind = iota
+	// evTxnDeadline aborts the still-open transaction in P at its
+	// wall-clock deadline.
+	evTxnDeadline
+)
+
+// HandleEvent dispatches the programmer's timer events.  It implements
+// sim.Handler.
+func (p *InbandProgrammer) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evBlockTimeout:
+		tx := ev.P.(*txnState)
+		p.timeout(tx.pt, tx, int(ev.A), int(ev.B))
+	case evTxnDeadline:
+		tx := ev.P.(*txnState)
+		if tx.done {
+			return
+		}
+		p.counters().DeadlineAborts++
+		p.giveUp(tx.pt, tx)
+	}
+}
+
 // txnState is the coordinator's view of one in-flight reliable
 // transaction.
 type txnState struct {
 	id      admission.PortID
+	pt      *core.PortTable
 	version uint64
 	hops    int
 	blocks  []core.BlockDelta
@@ -71,6 +103,22 @@ type txnState struct {
 	attempt []int // sends so far, per block; timeouts of superseded sends are stale
 	pending int   // blocks not yet acknowledged
 	done    bool  // completed, torn down, or given up
+
+	timers   []sim.Timer // response timeout per block (latest send)
+	deadline sim.Timer   // transaction deadline, when armed
+}
+
+// settle marks a transaction finished and cancels its outstanding
+// timers — the per-block response timeouts and the deadline.  Canceling
+// an already-fired or never-armed timer is a no-op, so settle is safe
+// from every termination path (commit, torn abort, give-up,
+// supersession).
+func (p *InbandProgrammer) settle(tx *txnState) {
+	tx.done = true
+	for i := range tx.timers {
+		p.Engine.Cancel(tx.timers[i])
+	}
+	p.Engine.Cancel(tx.deadline)
 }
 
 // linkKey maps an arbitration point to its fault-injector link key.
@@ -115,18 +163,19 @@ func (p *InbandProgrammer) programReliable(id admission.PortID, pt *core.PortTab
 		// The port accepted a new BeginProgram, which it only does with
 		// no transaction open port-side: the old transaction's blocks
 		// all landed and its table swapped, but the acks proving it were
-		// lost.  The successor supersedes it; stragglers and retransmit
-		// timers of the old transaction check done and fall dead.
-		old.done = true
+		// lost.  The successor supersedes it; its timers are canceled
+		// and stragglers still in flight check done and fall dead.
+		p.settle(old)
 	}
 	hops := 1
 	if p.Hops != nil {
 		hops = p.Hops(id)
 	}
 	tx := &txnState{
-		id: id, version: d.Version, hops: hops, blocks: d.Blocks,
+		id: id, pt: pt, version: d.Version, hops: hops, blocks: d.Blocks,
 		acked:   make([]bool, len(d.Blocks)),
 		attempt: make([]int, len(d.Blocks)),
+		timers:  make([]sim.Timer, len(d.Blocks)),
 		pending: len(d.Blocks),
 	}
 	for _, b := range d.Blocks {
@@ -147,13 +196,8 @@ func (p *InbandProgrammer) programReliable(id admission.PortID, pt *core.PortTab
 		p.sendBlock(pt, tx, k, 0, int64(k+1)*madWireBytes)
 	}
 	if p.Retry.DeadlineBT > 0 {
-		p.Engine.After(p.Retry.DeadlineBT, func() {
-			if tx.done {
-				return
-			}
-			p.counters().DeadlineAborts++
-			p.giveUp(pt, tx)
-		})
+		tx.deadline = p.Engine.PostTimerAfter(p.Retry.DeadlineBT, p,
+			sim.Event{Kind: evTxnDeadline, P: tx})
 	}
 	return nil
 }
@@ -168,9 +212,11 @@ func (p *InbandProgrammer) sendBlock(pt *core.PortTable, tx *txnState, k, attemp
 	oneWay := int64(tx.hops) * (madWireBytes + hopLatencyBT)
 
 	// The timeout covers serialization, the round trip and backoff
-	// headroom that doubles per attempt.
+	// headroom that doubles per attempt.  Re-arming replaces the block's
+	// timer handle; acking or settling cancels it.
 	timeout := serializeBT + 2*oneWay + p.Retry.AckTimeoutBT<<attempt
-	p.Engine.After(timeout, func() { p.timeout(pt, tx, k, attempt) })
+	tx.timers[k] = p.Engine.PostTimerAfter(timeout, p,
+		sim.Event{Kind: evBlockTimeout, A: int32(k), B: int32(attempt), P: tx})
 
 	fate := p.Faults.SMPFate(link)
 	if fate.Drop || p.Faults.DownUntil(link, now) > now {
@@ -241,7 +287,7 @@ func (p *InbandProgrammer) ack(pt *core.PortTable, tx *txnState, version uint64,
 		// The port discarded its staged state; this transaction cannot
 		// complete.  The shadow is still authoritative: restart, bounded
 		// so a hostile link cannot loop the control plane forever.
-		tx.done = true
+		p.settle(tx)
 		delete(p.txns, pt)
 		p.restarts[pt]++
 		if p.restarts[pt] > p.Retry.MaxAttempts {
@@ -259,6 +305,7 @@ func (p *InbandProgrammer) ack(pt *core.PortTable, tx *txnState, version uint64,
 		}
 		tx.acked[k] = true
 		tx.pending--
+		p.Engine.Cancel(tx.timers[k])
 		break
 	}
 	if tx.pending == 0 {
@@ -266,7 +313,7 @@ func (p *InbandProgrammer) ack(pt *core.PortTable, tx *txnState, version uint64,
 		// the set when the last distinct block arrived (even if the
 		// "applied" response itself was lost and a retransmitted
 		// duplicate carried this ack).
-		tx.done = true
+		p.settle(tx)
 		delete(p.txns, pt)
 		p.restarts[pt] = 0
 		p.chain(tx.id, pt)
@@ -296,7 +343,7 @@ func (p *InbandProgrammer) timeout(pt *core.PortTable, tx *txnState, k, attempt 
 // where the audit path quarantines it.  The shadow table keeps the
 // intended state; a later successful audit re-syncs the port from it.
 func (p *InbandProgrammer) giveUp(pt *core.PortTable, tx *txnState) {
-	tx.done = true
+	p.settle(tx)
 	delete(p.txns, pt)
 	pt.CancelProgram(tx.version)
 	if p.OnGiveUp != nil {

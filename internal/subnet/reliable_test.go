@@ -147,6 +147,54 @@ func TestReliableDeadlineAbortsAndRollsBack(t *testing.T) {
 	}
 }
 
+// TestReliableTimersCanceledOnCompletion: settling a transaction must
+// cancel its retransmission and deadline timers outright.  Before the
+// typed-event conversion the closures lingered in the heap as armed
+// no-ops — a completed transaction kept its deadline event pending for
+// up to DeadlineBT byte times, and a retransmit timeout of a finished
+// transaction could still fire.
+func TestReliableTimersCanceledOnCompletion(t *testing.T) {
+	eng, prog, pt := newReliableFixture(t, faults.Config{Seed: 1})
+	programOnce(t, prog, pt)
+	eng.RunWhile(func() bool { return prog.OpenTransactions() > 0 })
+
+	if n := prog.OpenTransactions(); n != 0 {
+		t.Fatalf("%d transactions still open", n)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("%d events still pending after the transaction settled; orphaned timers", p)
+	}
+	if s := eng.Stats(); s.Canceled == 0 {
+		t.Error("expected the settle path to cancel timers, Canceled = 0")
+	}
+	c := prog.counters()
+	if c.Retransmits != 0 || c.DeadlineAborts != 0 {
+		t.Errorf("perfect network saw recovery activity: %+v", *c)
+	}
+}
+
+// TestReliableTimersCanceledOnGiveUp: a transaction abandoned by
+// retransmit exhaustion must also cancel its deadline timer — the
+// deadline of a port already given up must never fire (it would count
+// a second abort against a settled transaction).
+func TestReliableTimersCanceledOnGiveUp(t *testing.T) {
+	eng, prog, pt := newReliableFixture(t, faults.Config{Seed: 2, Drop: 1.0})
+	prog.Retry.DeadlineBT = 1 << 30 // give-up races far ahead of the deadline
+	programOnce(t, prog, pt)
+	eng.RunWhile(func() bool { return true })
+
+	c := prog.counters()
+	if c.Abandoned != 1 {
+		t.Fatalf("Abandoned = %d, want 1 (counters %+v)", c.Abandoned, *c)
+	}
+	if c.DeadlineAborts != 0 {
+		t.Errorf("deadline fired on a transaction already given up: %+v", *c)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("%d events still pending after give-up; the deadline timer leaked", p)
+	}
+}
+
 // TestAuditorHealsAfterFlap: a link-down window makes the programmer
 // abandon the port and quarantine it; once the window passes, the audit
 // read-back succeeds, the quarantine lifts, and the chained reprogram

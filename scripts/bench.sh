@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh — hot-path benchmark harness.
+#
+# Runs the data-plane micro-benchmarks (arbiter pick, per-hop packet
+# forwarding, raw engine throughput) with -benchmem and emits
+# BENCH_PR4.json: the pre-refactor baseline (checked in at
+# scripts/bench_baseline_pr4.json) next to the numbers just measured,
+# so the typed-event engine's perf claim — 0 allocs/op on the packet
+# path, >= 20% ns/op over the closure-based engine — is reproducible
+# with one command.
+#
+# Usage: scripts/bench.sh [count]
+#   count  benchmark repetitions per name (default 3; the JSON keeps
+#          the minimum ns/op, the least-noisy point estimate)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${1:-3}"
+OUT="BENCH_PR4.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench (hot paths), count=$COUNT" >&2
+go test -run '^$' \
+    -bench '^(BenchmarkArbiterPick|BenchmarkArbiterPickInstrumented|BenchmarkArbiterPickFaultsDisabled|BenchmarkPerHopForwarding|BenchmarkEngine)$' \
+    -benchmem -count="$COUNT" . | tee "$RAW" >&2
+
+# Parse `BenchmarkName  N  ns/op  B/op  allocs/op` lines, keeping the
+# minimum ns/op per benchmark (B/op and allocs/op are deterministic).
+awk '
+/^Benchmark/ {
+    name = $1
+    ns = $3; bytes = $5; allocs = $7
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; b[name] = bytes; a[name] = allocs
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+}
+END {
+    printf "["
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (i > 1) printf ","
+        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            name, best[name], b[name], a[name]
+    }
+    printf "\n  ]"
+}' "$RAW" > "$RAW.current"
+
+BASE="$(cat scripts/bench_baseline_pr4.json)"
+{
+    echo '{'
+    echo "  \"baseline\": $BASE,"
+    echo "  \"current\": $(cat "$RAW.current")"
+    echo '}'
+} > "$OUT"
+rm -f "$RAW.current"
+
+echo "==> wrote $OUT" >&2

@@ -8,6 +8,9 @@
 #              test order (the parallel sweep runner makes this the
 #              load-bearing pass; shuffling flushes out inter-test
 #              state)
+#   alloc gate the zero-alloc budgets of the data-plane hot paths,
+#              run WITHOUT the race detector (race instrumentation
+#              allocates, so the budgets only hold in a plain build)
 #   fuzz smoke a short coverage-guided run of each fuzz target on top
 #              of the checked-in seed corpus
 #
@@ -41,6 +44,12 @@ echo "==> go test -race -shuffle=on ./..."
 # detector on a small machine that legitimately exceeds go test's
 # default 10m budget.
 go test -race -shuffle=on -timeout=60m ./...
+
+echo "==> go test -run AllocBudget . (zero-alloc hot-path gate)"
+# testing.AllocsPerRun budgets: 0 allocs/op on arbiter pick and on a
+# full per-hop packet forwarding step with metrics disabled.  Must run
+# without -race (the detector's instrumentation allocates).
+go test -run 'AllocBudget' -count=1 .
 
 if [[ "$RUN_FUZZ" -eq 1 ]]; then
     # -fuzz takes one target per invocation; -run='^$' skips the unit
