@@ -133,6 +133,24 @@ func emitFaultsJSON(w io.Writer, base experiments.FaultParams, res []experiments
 	})
 }
 
+// scaleReport is the machine-readable form of a structured-fabric
+// scale sweep.
+type scaleReport struct {
+	BaseSeed int64                     `json:"baseSeed"`
+	Loads    []float64                 `json:"loads"`
+	Payload  int                       `json:"payload"`
+	Runs     []experiments.ScaleResult `json:"runs"`
+}
+
+func emitScaleJSON(w io.Writer, base experiments.ScaleParams, res []experiments.ScaleResult) error {
+	return encodeIndented(w, scaleReport{
+		BaseSeed: base.Seed,
+		Loads:    base.Loads,
+		Payload:  base.Payload,
+		Runs:     res,
+	})
+}
+
 func encodeIndented(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

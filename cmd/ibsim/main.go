@@ -13,6 +13,8 @@
 //
 //	ibsim -exp churn -churn-seeds 8   # connection churn with in-band
 //	                                  # table reprogramming (JSON)
+//	ibsim -exp scale -scale tiny      # structured fabrics (fat-tree,
+//	                                  # dragonfly, irregular) under load
 package main
 
 import (
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|scale|all")
 		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
 		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
 		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
@@ -162,6 +164,20 @@ func main() {
 		if err := emitFaultsJSON(os.Stdout, base, res); err != nil {
 			fatal(err)
 		}
+	case "scale":
+		base := scaleParams(*scale)
+		if *seed != 0 {
+			base.Seed = *seed
+		}
+		res, err := experiments.ScaleSweep(base, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintScale(os.Stdout, res)
+		fmt.Println()
+		if err := emitScaleJSON(os.Stdout, base, res); err != nil {
+			fatal(err)
+		}
 	case "scaling":
 		ns, err := parseSizes(*sizes)
 		if err != nil {
@@ -262,6 +278,15 @@ func faultParams(scale string) experiments.FaultParams {
 		return experiments.FaultsTiny()
 	}
 	return experiments.FaultsQuick()
+}
+
+// scaleParams maps a scale preset onto the structured-fabric
+// experiment.
+func scaleParams(scale string) experiments.ScaleParams {
+	if scale == "tiny" {
+		return experiments.ScaleTiny()
+	}
+	return experiments.ScaleQuick()
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestScaleJSONGolden pins the -exp scale JSON at the tiny scale (seed
+// 1) against a checked-in golden.  Every point is a pure function of
+// its derived seed, so any diff is a real behavior or format change;
+// regenerate deliberately with
+//
+//	go test ./cmd/ibsim -run ScaleJSONGolden -update
+func TestScaleJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.ScaleTiny()
+	res, err := experiments.ScaleSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := emitScaleJSON(&buf, base, res); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "scale.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("scale JSON diverged from %s (rerun with -update if intended)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestScaleJSONParallelIdentical is the worker-count regression: the
+// sweep's JSON must be byte-identical whether the points run on one
+// worker or four.
+func TestScaleJSONParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.ScaleTiny()
+	encode := func(workers int) []byte {
+		res, err := experiments.ScaleSweep(base, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := emitScaleJSON(&buf, base, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := encode(1), encode(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("scale JSON depends on worker count: %d bytes serial, %d parallel",
+			len(serial), len(parallel))
+	}
+}
+
+// TestScaleJSONShape checks the invariants scripts rely on: the sweep
+// covers every (spec, load) point of the grid in order, every point
+// carries a non-trivial acyclic channel-dependency graph, and the
+// multi-plane dragonfly engine reports its escape plane.
+func TestScaleJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.ScaleTiny()
+	res, err := experiments.ScaleSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emitScaleJSON(&buf, base, res); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Runs []struct {
+			Label  string  `json:"label"`
+			Load   float64 `json:"load"`
+			Planes int     `json:"planes"`
+			CDG    struct {
+				Channels int `json:"Channels"`
+				Routes   int `json:"Routes"`
+			} `json:"cdg"`
+			Admitted int `json:"admitted"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if want := len(base.Specs) * len(base.Loads); len(rep.Runs) != want {
+		t.Fatalf("sweep has %d runs, want %d", len(rep.Runs), want)
+	}
+	i := 0
+	for _, spec := range base.Specs {
+		for _, load := range base.Loads {
+			r := rep.Runs[i]
+			if r.Label != spec.Label() || r.Load != load {
+				t.Errorf("run %d is (%s, %g), want (%s, %g)", i, r.Label, r.Load, spec.Label(), load)
+			}
+			if r.CDG.Channels == 0 || r.CDG.Routes == 0 {
+				t.Errorf("run %d: empty channel-dependency graph: %+v", i, r.CDG)
+			}
+			if r.Admitted == 0 {
+				t.Errorf("run %d admitted no connections", i)
+			}
+			i++
+		}
+	}
+	for _, r := range rep.Runs {
+		if r.Label == "dragonfly-a2p1h1" && r.Planes != 2 {
+			t.Errorf("dragonfly reports %d planes, want 2", r.Planes)
+		}
+	}
+}

@@ -1,12 +1,16 @@
-// Command ibtopo generates the irregular topologies of the evaluation
-// and reports their structure and routing properties: adjacency,
-// spanning-tree levels, and the path-length histogram of the up*/down*
-// routes.
+// Command ibtopo generates the topologies of the evaluation —
+// irregular networks, k-ary fat-trees and canonical dragonflies — and
+// reports their structure and routing properties: adjacency, routing
+// levels, the path-length histogram, and the channel-dependency-graph
+// proof that the class's routing engine is deadlock-free on the
+// generated instance.
 //
 // Usage:
 //
 //	ibtopo -switches 16 -seed 42
 //	ibtopo -switches 64 -seed 7 -adjacency
+//	ibtopo -class fattree -k 4
+//	ibtopo -class dragonfly -a 4 -p 2 -h 2
 package main
 
 import (
@@ -15,33 +19,47 @@ import (
 	"os"
 
 	"repro/internal/routing"
+	"repro/internal/routing/cdg"
 	"repro/internal/topology"
 )
 
 func main() {
 	var (
-		switches  = flag.Int("switches", 16, "number of switches")
-		seed      = flag.Int64("seed", 42, "random seed")
+		class     = flag.String("class", "irregular", "topology class: irregular|fattree|dragonfly")
+		switches  = flag.Int("switches", 16, "number of switches (irregular)")
+		seed      = flag.Int64("seed", 42, "random seed (irregular)")
+		k         = flag.Int("k", 4, "fat-tree arity")
+		a         = flag.Int("a", 4, "dragonfly switches per group")
+		p         = flag.Int("p", 2, "dragonfly hosts per switch")
+		h         = flag.Int("h", 2, "dragonfly global links per switch")
 		adjacency = flag.Bool("adjacency", false, "print the full adjacency list")
 	)
 	flag.Parse()
 
-	topo, err := topology.Generate(*switches, *seed)
+	cls, err := topology.ParseClass(*class)
+	if err != nil {
+		fatal(err)
+	}
+	spec := topology.Spec{Class: cls, Switches: *switches, Seed: *seed, K: *k, A: *a, P: *p, H: *h}
+	topo, err := spec.Generate()
 	if err != nil {
 		fatal(err)
 	}
 	if err := topo.Validate(); err != nil {
 		fatal(err)
 	}
-	routes, err := routing.Compute(topo)
+	routes, err := routing.ComputeFor(topo)
 	if err != nil {
 		fatal(err)
 	}
-	if err := routes.CheckLegal(); err != nil {
-		fatal(err)
+	if cls == topology.Irregular {
+		// The legality check is specific to up*/down* ordering.
+		if err := routes.CheckLegal(); err != nil {
+			fatal(err)
+		}
 	}
 
-	fmt.Printf("topology: %d switches, %d hosts, seed %d\n", topo.NumSwitches, topo.NumHosts(), *seed)
+	fmt.Printf("topology: %s — %d switches, %d hosts\n", spec.Label(), topo.NumSwitches, topo.NumHosts())
 
 	links := 0
 	maxLevel := 0
@@ -52,7 +70,21 @@ func main() {
 		}
 	}
 	fmt.Printf("inter-switch links: %d (directed port pairs: %d)\n", links/2, links)
-	fmt.Printf("spanning tree depth: %d\n", maxLevel)
+	if cls != topology.Dragonfly {
+		// Level is tree depth for up*/down* and fat-tree routing; the
+		// dragonfly engine does not use levels.
+		fmt.Printf("routing tree depth: %d\n", maxLevel)
+	}
+	fmt.Printf("VL planes: %d (%d base data VLs)\n", routes.Planes(), routes.BaseVLs())
+
+	// Deadlock-freedom proof: walk the channel-dependency graph of
+	// every route on every base VL and verify it is acyclic.
+	st, err := cdg.Verify(topo, routes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("channel-dependency graph: %d channels, %d dependencies over %d routes — acyclic\n",
+		st.Channels, st.Deps, st.Routes)
 
 	if *adjacency {
 		for s := 0; s < topo.NumSwitches; s++ {

@@ -224,11 +224,14 @@ func (c *Controller) Ports() *Ports { return c.ports }
 // Live returns the number of admitted connections.
 func (c *Controller) Live() int { return len(c.live) }
 
-// site is one arbitration point of a path: its identity plus its
-// table.
+// site is one arbitration point of a path: its identity, its table,
+// and the switch whose forwarding decision governs the hop's wire VL
+// (the source's switch for the host interface — the injection VL
+// matches the first switch hop's plane).
 type site struct {
 	id    PortID
 	table *core.PortTable
+	vlSw  int
 }
 
 // pathSites returns the arbitration points of a route in order: the
@@ -239,10 +242,10 @@ func (c *Controller) pathSites(src, dst int) ([]site, error) {
 	if err != nil {
 		return nil, err
 	}
-	sites := []site{{id: HostPortID(src), table: c.ports.Host[src]}}
+	sites := []site{{id: HostPortID(src), table: c.ports.Host[src], vlSw: switches[0]}}
 	for _, sw := range switches {
 		port := c.routes.NextPort(sw, dst)
-		sites = append(sites, site{id: SwitchPortID(sw, port), table: c.ports.Switch[sw][port]})
+		sites = append(sites, site{id: SwitchPortID(sw, port), table: c.ports.Switch[sw][port], vlSw: sw})
 	}
 	return sites, nil
 }
@@ -259,7 +262,7 @@ func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 		return nil, err
 	}
 	weight := sl.WeightForBandwidth(req.Mbps * c.WireFactor)
-	vl := c.maping.VLFor(req.Level.SL)
+	base := c.maping.VLFor(req.Level.SL)
 	distance := req.Level.Distance
 	if d, ok := c.Distances[req.Level.SL]; ok {
 		distance = d
@@ -293,7 +296,10 @@ func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 			return nil, fmt.Errorf("admission: hop %d/%d over budget (%d + %d > %d)",
 				i+1, len(sites), tb.ReservedWeight(), weight, c.Budget)
 		}
-		res, err := tb.Reserve(vl, distance, weight)
+		// The hop's wire VL: the base VL shifted into the routing
+		// engine's escape plane at this point of the path (identity for
+		// single-plane engines).
+		res, err := tb.Reserve(c.routes.HopVL(st.vlSw, req.Dst, base), distance, weight)
 		if err != nil {
 			c.abort(conn)
 			return nil, fmt.Errorf("admission: hop %d/%d: %w", i+1, len(sites), err)
@@ -416,9 +422,9 @@ func (c *Controller) MeanHostReservation() float64 {
 func (c *Controller) MeanSwitchPortReservation() float64 {
 	sum, n := 0.0, 0
 	for s := range c.ports.Switch {
-		for q := topology.HostsPerSwitch; q < topology.SwitchPorts; q++ {
+		for q := 0; q < topology.SwitchPorts; q++ {
 			if c.topo.Peer(s, q).Switch < 0 {
-				continue
+				continue // host port or unwired
 			}
 			sum += sl.BandwidthForWeight(c.ports.Switch[s][q].ReservedWeight())
 			n++

@@ -138,7 +138,7 @@ func (n *Network) newPacket(f *Flow, vl uint8, dst, wire int, injected, tag int6
 	} else {
 		pkt = &Packet{}
 	}
-	pkt.Flow, pkt.VL, pkt.Dst, pkt.Wire = f, vl, dst, wire
+	pkt.Flow, pkt.VL, pkt.Base, pkt.Dst, pkt.Wire = f, vl, f.Base, dst, wire
 	pkt.Injected, pkt.Tag = injected, tag
 	return pkt
 }

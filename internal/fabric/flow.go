@@ -24,6 +24,11 @@ type Flow struct {
 	ID       int
 	Src, Dst int
 	SL, VL   uint8
+	// Base is the VL the SLtoVL mapping assigned; VL is the injection
+	// wire VL, which differs from Base only under multi-plane routing
+	// engines (the source may already sit in the destination's
+	// dragonfly group, so injection happens on the escape plane).
+	Base     uint8
 	Mbps     float64
 	Payload  int   // payload bytes per packet
 	Wire     int   // payload + header bytes
@@ -54,7 +59,7 @@ type Flow struct {
 // newFlow builds the runtime state shared by both flow kinds.
 func newFlow(id, src, dst int, slv, vl uint8, mbps float64, payload int, deadline int64, qos bool) *Flow {
 	return &Flow{
-		ID: id, Src: src, Dst: dst, SL: slv, VL: vl,
+		ID: id, Src: src, Dst: dst, SL: slv, VL: vl, Base: vl,
 		Mbps:        mbps,
 		Payload:     payload,
 		Wire:        payload + sl.HeaderBytes,
@@ -78,14 +83,18 @@ func (f *Flow) resetMeasurement() {
 	f.Drops = 0
 }
 
-// Packet is one in-flight packet.  The VL is fixed end to end because
-// the SLtoVL mapping is the same at every link in the evaluation
-// configurations.
+// Packet is one in-flight packet.  Under single-plane routing engines
+// (the evaluation's irregular networks, the fat-tree) the VL is fixed
+// end to end because the SLtoVL mapping is the same at every link;
+// multi-plane engines rewrite VL at each forwarding decision to
+// Routes.HopVL(sw, Dst, Base).
 type Packet struct {
-	Flow     *Flow
-	VL       uint8
-	Dst      int
-	Wire     int
+	Flow *Flow
+	VL   uint8 // wire VL on the link currently carrying the packet
+	Base uint8 // VL assigned by the SLtoVL mapping (plane 0)
+	Dst  int
+	Wire int
+
 	Injected int64 // generation time at the source host
 
 	// Tag carries upper-layer context through the fabric untouched;

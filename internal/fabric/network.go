@@ -108,10 +108,21 @@ type Network struct {
 	injectedBytes  int64
 	deliveredBytes int64
 
+	// planes caches Routes.Planes(); a value above 1 routes each hop's
+	// wire VL through Routes.HopVL (the dragonfly's escape planes)
+	// instead of keeping the injection VL end to end.
+	planes int
+
 	// OnDeliver, when set, observes every packet reaching its
 	// destination host (after the flow statistics update).  The
 	// transport layer hooks message reassembly here.
 	OnDeliver func(*Packet)
+
+	// OnForward, when set, observes every switch forwarding decision:
+	// the packet (with its outgoing wire VL already set), the switch,
+	// and the chosen output port.  Costs the hot path one nil check;
+	// the routing cross-check tests hook here.
+	OnForward func(pkt *Packet, sw, port int)
 
 	// Metrics, when non-nil, receives fabric-wide observability
 	// counters (per-VL bytes arbitrated, scan lengths, stalls, queue
@@ -213,13 +224,20 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		return nil, fmt.Errorf("fabric: topology has %d switches, config says %d",
 			topo.NumSwitches, cfg.Switches)
 	}
-	routes, err := routing.Compute(topo)
+	routes, err := routing.ComputeFor(topo)
 	if err != nil {
 		return nil, err
 	}
+	// A multi-plane routing engine owns the upper data VLs as escape
+	// copies of the lower ones, so the SLtoVL mapping must collapse
+	// onto the base plane.
+	dataVLs := cfg.DataVLs
+	if base := routes.BaseVLs(); routes.Planes() > 1 && (dataVLs == 0 || dataVLs > base) {
+		dataVLs = base
+	}
 	mapping := sl.IdentityMapping()
-	if cfg.DataVLs > 0 && cfg.DataVLs < arbtable.NumDataVLs {
-		mapping, err = sl.CollapsedMapping(cfg.DataVLs)
+	if dataVLs > 0 && dataVLs < arbtable.NumDataVLs {
+		mapping, err = sl.CollapsedMapping(dataVLs)
 		if err != nil {
 			return nil, err
 		}
@@ -244,12 +262,13 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		Engine:  eng,
 		Adm:     admission.NewController(topo, routes, mapping, ports),
 		rng:     rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+		planes:  routes.Planes(),
 	}
 	// Reservations must cover wire bytes, not just payload, so that
 	// the header overhead of small packets cannot erode guarantees.
 	n.Adm.WireFactor = float64(cfg.PayloadBytes+sl.HeaderBytes) / float64(cfg.PayloadBytes)
 	n.Adm.PacketWire = cfg.PayloadBytes + sl.HeaderBytes
-	if cfg.DataVLs > 0 && cfg.DataVLs < arbtable.NumDataVLs {
+	if dataVLs > 0 && dataVLs < arbtable.NumDataVLs {
 		n.Adm.Distances = sl.EffectiveDistances(sl.DefaultLevels, mapping)
 	}
 
@@ -257,6 +276,16 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		{VL: mapping.VLFor(sl.PBESL), Weight: cfg.LowWeights[0]},
 		{VL: mapping.VLFor(sl.BESL), Weight: cfg.LowWeights[1]},
 		{VL: mapping.VLFor(sl.CHSL), Weight: cfg.LowWeights[2]},
+	}
+	// Multi-plane engines carry best-effort traffic on the escape
+	// copies of the base VLs too; without low-table entries for them
+	// those lanes would never be scheduled.
+	for plane := 1; plane < n.planes; plane++ {
+		for _, e := range low[:3] {
+			low = append(low, arbtable.Entry{
+				VL: sl.PlaneVL(e.VL, plane, n.planes), Weight: e.Weight,
+			})
+		}
 	}
 
 	// Hosts.  The arbiters schedule from the ACTIVE (data-plane) table
@@ -316,12 +345,24 @@ func (n *Network) bufferCapacity() int {
 	return n.Cfg.BufferPackets * (n.Cfg.PayloadBytes + sl.HeaderBytes)
 }
 
+// bindVL fixes a freshly built flow's injection VL: the base VL the
+// mapping assigned, shifted into the plane the routing engine uses on
+// the first hop.  Identity for single-plane engines (and for the
+// management VL, which no plane ever shifts).
+func (n *Network) bindVL(f *Flow) *Flow {
+	if n.planes > 1 {
+		sw, _ := n.Topo.HostSwitch(f.Src)
+		f.VL = n.Routes.HopVL(sw, f.Dst, f.Base)
+	}
+	return f
+}
+
 // AddConnection attaches a CBR traffic flow for an admitted QoS
 // connection.
 func (n *Network) AddConnection(conn *admission.Conn) *Flow {
-	f := newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
+	f := n.bindVL(newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
 		conn.Req.Level.SL, n.Mapping.VLFor(conn.Req.Level.SL),
-		conn.Req.Mbps, n.Cfg.PayloadBytes, conn.Deadline, true)
+		conn.Req.Mbps, n.Cfg.PayloadBytes, conn.Deadline, true))
 	n.flows = append(n.flows, f)
 	return f
 }
@@ -331,9 +372,9 @@ func (n *Network) AddConnection(conn *admission.Conn) *Flow {
 // the overshooting-source scenario of the paper's section 3.2
 // (misbehavior only hurts connections sharing the same VL).
 func (n *Network) AddMisbehavingConnection(conn *admission.Conn, actualMbps float64) *Flow {
-	f := newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
+	f := n.bindVL(newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
 		conn.Req.Level.SL, n.Mapping.VLFor(conn.Req.Level.SL),
-		actualMbps, n.Cfg.PayloadBytes, conn.Deadline, true)
+		actualMbps, n.Cfg.PayloadBytes, conn.Deadline, true))
 	n.flows = append(n.flows, f)
 	return f
 }
@@ -370,16 +411,16 @@ func (n *Network) AddVBRConnection(conn *admission.Conn, peakFactor float64, bur
 // never listed in arbitration tables: it has absolute priority over
 // every data VL (IBA 1.0; paper section 2.1).
 func (n *Network) AddManagement(src, dst int, mbps float64) *Flow {
-	f := newFlow(len(n.flows), src, dst, arbtable.MgmtVL, arbtable.MgmtVL,
-		mbps, n.Cfg.PayloadBytes, 0, false)
+	f := n.bindVL(newFlow(len(n.flows), src, dst, arbtable.MgmtVL, arbtable.MgmtVL,
+		mbps, n.Cfg.PayloadBytes, 0, false))
 	n.flows = append(n.flows, f)
 	return f
 }
 
 // AddBestEffort attaches a best-effort background flow.
 func (n *Network) AddBestEffort(be traffic.BestEffort) *Flow {
-	f := newFlow(len(n.flows), be.Src, be.Dst, be.SL, n.Mapping.VLFor(be.SL),
-		be.Mbps, n.Cfg.PayloadBytes, 0, false)
+	f := n.bindVL(newFlow(len(n.flows), be.Src, be.Dst, be.SL, n.Mapping.VLFor(be.SL),
+		be.Mbps, n.Cfg.PayloadBytes, 0, false))
 	n.flows = append(n.flows, f)
 	return f
 }
@@ -515,7 +556,7 @@ func (n *Network) tryHost(h int) {
 	// Subnet management (VL 15) preempts all data lanes.
 	if q := &host.queues[arbtable.MgmtVL]; q.len() > 0 &&
 		down.occ[arbtable.MgmtVL]+q.front().Wire <= capacity {
-		n.transmit(&host.out, q.pop(), -1)
+		n.transmit(&host.out, q.pop(), -1, arbtable.MgmtVL)
 		return
 	}
 
@@ -549,7 +590,7 @@ func (n *Network) tryHost(h int) {
 			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
 		})
 	}
-	n.transmit(&host.out, pkt, -1)
+	n.transmit(&host.out, pkt, -1, pkt.VL)
 }
 
 // kickSwitch schedules a scheduling pass at a switch output port.
@@ -626,18 +667,25 @@ func (n *Network) trySwitch(s, p int) {
 			}
 			in.busyUntil = now + xfer
 			n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
-			n.transmit(out, pkt, switchCode(s, i))
+			n.transmit(out, pkt, switchCode(s, i), arbtable.MgmtVL)
 			return
 		}
 	}
 
+	// Candidates are indexed by their OUTGOING wire VL: under a
+	// single-plane engine that is the queueing VL itself, and the
+	// remapping below compiles to the identity; multi-plane engines may
+	// shift a packet into its escape plane here, so the arbiter sees —
+	// and the downstream credit check guards — the lane the packet will
+	// actually occupy on the next link.
 	var ready arbtable.Ready
 	var src [arbtable.NumDataVLs]int
-	for vl := 0; vl < arbtable.NumDataVLs; vl++ {
+	var srcVL [arbtable.NumDataVLs]uint8
+	for invl := 0; invl < arbtable.NumDataVLs; invl++ {
 		for k := 0; k < topology.SwitchPorts; k++ {
-			i := (out.rr[vl] + k) % topology.SwitchPorts
+			i := (out.rr[invl] + k) % topology.SwitchPorts
 			in := &node.in[i]
-			q := &in.queues[vl]
+			q := &in.queues[invl]
 			if q.len() == 0 || in.busyUntil > now {
 				continue
 			}
@@ -645,11 +693,19 @@ func (n *Network) trySwitch(s, p int) {
 			if n.Routes.NextPort(s, pkt.Dst) != p {
 				continue
 			}
-			if down != nil && down.occ[vl]+pkt.Wire > capacity {
+			outvl := invl
+			if n.planes > 1 {
+				outvl = int(n.Routes.HopVL(s, pkt.Dst, pkt.Base))
+				if ready[outvl] != 0 {
+					continue // lane claimed by an earlier input VL
+				}
+			}
+			if down != nil && down.occ[outvl]+pkt.Wire > capacity {
 				continue // no credit toward the next switch
 			}
-			ready[vl] = pkt.Wire
-			src[vl] = i
+			ready[outvl] = pkt.Wire
+			src[outvl] = i
+			srcVL[outvl] = uint8(invl)
 			break
 		}
 	}
@@ -661,11 +717,13 @@ func (n *Network) trySwitch(s, p int) {
 		out.pt.NoteStalePick()
 	}
 	i := src[vl]
+	invl := srcVL[vl]
 	in := &node.in[i]
-	pkt := in.queues[vl].pop()
+	pkt := in.queues[invl].pop()
+	pkt.VL = uint8(vl)
 	if m := n.Metrics; m != nil {
 		m.AddVLBytes(vl, pkt.Wire)
-		m.ObserveQueueDepth(int64(in.queues[vl].len()))
+		m.ObserveQueueDepth(int64(in.queues[invl].len()))
 	}
 	if t := n.Engine.Trace; t != nil {
 		lp := out.arb.Last()
@@ -674,7 +732,7 @@ func (n *Network) trySwitch(s, p int) {
 			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
 		})
 	}
-	out.rr[vl] = (i + 1) % topology.SwitchPorts
+	out.rr[invl] = (i + 1) % topology.SwitchPorts
 	xfer := int64(pkt.Wire) / int64(n.Cfg.CrossbarSpeedup)
 	if xfer < 1 {
 		xfer = 1
@@ -682,7 +740,10 @@ func (n *Network) trySwitch(s, p int) {
 	in.busyUntil = now + xfer
 	n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
 
-	n.transmit(out, pkt, switchCode(s, i))
+	if n.OnForward != nil {
+		n.OnForward(pkt, s, p)
+	}
+	n.transmit(out, pkt, switchCode(s, i), invl)
 }
 
 // transmit puts pkt on out's wire: reserves downstream buffer space,
@@ -690,9 +751,12 @@ func (n *Network) trySwitch(s, p int) {
 // the completion event that releases the source buffer (crediting its
 // upstream) when the packet has fully left.  srcCode names the switch
 // input buffer the packet came from (-1 when it came from a host send
-// queue); the completion and arrival are typed events, so a forwarded
-// packet costs no allocation.
-func (n *Network) transmit(out *outPort, pkt *Packet, srcCode int32) {
+// queue) and srcVL the VL that buffer held the packet on — under
+// multi-plane routing pkt.VL is already the NEXT link's lane, so the
+// credit must return on the lane the packet actually occupied; the
+// completion and arrival are typed events, so a forwarded packet costs
+// no allocation.
+func (n *Network) transmit(out *outPort, pkt *Packet, srcCode int32, srcVL uint8) {
 	now := n.Engine.Now()
 	dur := int64(pkt.Wire)
 	out.busyUntil = now + dur
@@ -707,7 +771,7 @@ func (n *Network) transmit(out *outPort, pkt *Packet, srcCode int32) {
 
 	n.Engine.Post(now+dur, n, sim.Event{
 		Kind: evXmitDone, A: out.code, B: srcCode,
-		N: int64(pkt.VL)<<32 | int64(pkt.Wire),
+		N: int64(srcVL)<<32 | int64(pkt.Wire),
 	})
 	n.Engine.Post(now+dur+n.Cfg.LinkLatency, n, sim.Event{
 		Kind: evArrive, A: out.code, B: int32(pkt.gen), P: pkt,
@@ -846,8 +910,11 @@ func (n *Network) MeanSwitchPortUtilization() float64 {
 	}
 	sum, cnt := 0.0, 0
 	for _, s := range n.switches {
-		for p := topology.HostsPerSwitch; p < topology.SwitchPorts; p++ {
-			if !s.out[p].wired {
+		for p := 0; p < topology.SwitchPorts; p++ {
+			// Structured generators place switch-to-switch links on
+			// arbitrary ports, so select on the peer kind rather than
+			// the irregular generator's port split.
+			if !s.out[p].wired || s.out[p].downSwitch < 0 {
 				continue
 			}
 			sum += s.out[p].meter.Utilization(el)

@@ -1,0 +1,191 @@
+// Package cdg verifies deadlock freedom of routing engines by building
+// the channel-dependency graph (Dally & Seitz): one node per virtual
+// channel — a (switch, output port, VL) triple — and one edge for every
+// pair of consecutive channels some routed packet can hold at once.  A
+// routing function is deadlock-free on wormhole/virtual-cut-through
+// networks iff this graph is acyclic, so an exhaustive walk of the
+// forwarding tables plus a cycle check is a machine proof for the
+// shipped engines and the oracle for the property tests.
+package cdg
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Engine is the slice of a routing engine the verifier needs: the
+// destination-based forwarding function and the per-hop VL function.
+// *routing.Routes implements it; tests substitute deliberately broken
+// engines to prove the verifier rejects.
+type Engine interface {
+	// NextPortToSwitch returns the output port sw uses toward
+	// destination switch dsw (-1 when sw == dsw or unroutable).
+	NextPortToSwitch(sw, dsw int) int
+	// HopVLToSwitch returns the wire VL used when sw transmits a packet
+	// with base VL base toward destination switch dsw.
+	HopVLToSwitch(sw, dsw int, base uint8) uint8
+	// BaseVLs returns how many base data VLs the engine's SLtoVL
+	// mapping may use; the verifier checks every base VL independently.
+	BaseVLs() int
+}
+
+// Stats summarizes the verified graph.
+type Stats struct {
+	// Channels is the number of (switch, port, VL) nodes that carry at
+	// least one route.
+	Channels int
+	// Deps is the number of distinct channel-dependency edges.
+	Deps int
+	// Routes is the number of (source switch, destination switch, base
+	// VL) routes walked.
+	Routes int
+}
+
+// CycleError reports a channel-dependency cycle with a witness.
+type CycleError struct {
+	// Cycle is the closed channel sequence, first == last.
+	Cycle []Channel
+}
+
+// Channel identifies one virtual channel.
+type Channel struct {
+	Switch, Port int
+	VL           uint8
+}
+
+func (c Channel) String() string {
+	return fmt.Sprintf("(%d:%d vl%d)", c.Switch, c.Port, c.VL)
+}
+
+func (e *CycleError) Error() string {
+	s := "cdg: channel-dependency cycle:"
+	for i, c := range e.Cycle {
+		if i > 0 {
+			s += " ->"
+		}
+		s += " " + c.String()
+	}
+	return s
+}
+
+// Verify walks every route between host-bearing switches on every base
+// VL, accumulates the channel-dependency graph, and checks it for
+// cycles.  It returns the graph's statistics and a *CycleError holding
+// a witness cycle if one exists.  Routes that do not terminate within
+// the switch count are reported as errors too (a forwarding loop is a
+// routing bug even before it deadlocks).
+func Verify(topo *topology.Topology, eng Engine) (Stats, error) {
+	var st Stats
+
+	// Host-bearing switches are the only legal route endpoints.
+	var dests []int
+	for s := 0; s < topo.NumSwitches; s++ {
+		if topo.SwitchHosts(s) > 0 {
+			dests = append(dests, s)
+		}
+	}
+
+	// Dense channel ids: (sw*SwitchPorts + port)*NumVLs' with VL folded
+	// in via a map keyed on the triple — routes touch few VLs, so a map
+	// stays small while supporting any VL numbering the engine emits.
+	ids := make(map[Channel]int)
+	chans := []Channel{}
+	adj := [][]int{} // adjacency by channel id, deduped via edge set
+	edge := make(map[[2]int]bool)
+	chanID := func(c Channel) int {
+		if id, ok := ids[c]; ok {
+			return id
+		}
+		id := len(chans)
+		ids[c] = id
+		chans = append(chans, c)
+		adj = append(adj, nil)
+		return id
+	}
+
+	baseVLs := eng.BaseVLs()
+	for _, src := range dests {
+		for _, dst := range dests {
+			if src == dst {
+				continue
+			}
+			for base := 0; base < baseVLs; base++ {
+				st.Routes++
+				prev := -1
+				sw := src
+				for steps := 0; sw != dst; steps++ {
+					if steps > topo.NumSwitches {
+						return st, fmt.Errorf("cdg: route %d->%d (base vl %d) does not terminate", src, dst, base)
+					}
+					p := eng.NextPortToSwitch(sw, dst)
+					if p < 0 {
+						return st, fmt.Errorf("cdg: no route from switch %d to %d (base vl %d)", sw, dst, base)
+					}
+					e := topo.Peer(sw, p)
+					if e.Switch < 0 {
+						return st, fmt.Errorf("cdg: route %d->%d uses dead port %d:%d", src, dst, sw, p)
+					}
+					cur := chanID(Channel{Switch: sw, Port: p, VL: eng.HopVLToSwitch(sw, dst, uint8(base))})
+					if prev >= 0 && prev != cur {
+						if k := [2]int{prev, cur}; !edge[k] {
+							edge[k] = true
+							adj[prev] = append(adj[prev], cur)
+						}
+					}
+					prev = cur
+					sw = e.Switch
+				}
+			}
+		}
+	}
+	st.Channels = len(chans)
+	st.Deps = len(edge)
+
+	// Iterative DFS cycle detection with a parent chain for the witness.
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make([]int, len(chans))
+	parent := make([]int, len(chans))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var visit func(int) *CycleError
+	visit = func(u int) *CycleError {
+		color[u] = grey
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if err := visit(v); err != nil {
+					return err
+				}
+			case grey:
+				// Back edge u -> v closes a cycle v -> ... -> u -> v.
+				cyc := []Channel{chans[v]}
+				for x := u; x != v; x = parent[x] {
+					cyc = append(cyc, chans[x])
+				}
+				cyc = append(cyc, chans[v])
+				// Reverse into forward order.
+				for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
+				}
+				return &CycleError{Cycle: cyc}
+			}
+		}
+		color[u] = black
+		return nil
+	}
+	for u := range chans {
+		if color[u] == white {
+			if err := visit(u); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}

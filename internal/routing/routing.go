@@ -17,18 +17,100 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/sl"
 	"repro/internal/topology"
 )
 
 // Routes holds the forwarding state for one topology.
 type Routes struct {
 	topo *topology.Topology
-	// level[s] is the BFS depth of switch s from the root.
+	// level[s] is the BFS depth of switch s from the root (up*/down*
+	// and fat-tree; all zero for the dragonfly).
 	level []int
 	// next[s][d] is the output port switch s uses toward destination
-	// switch d (-1 when s == d).
+	// switch d (-1 when s == d or when no route is defined — structured
+	// engines only populate host-bearing destinations).
 	next [][]int
+	// planes is the number of VL-escape planes the engine needs: 1 for
+	// up*/down* and fat-tree, 2 for the dragonfly.  With planes > 1 the
+	// SLtoVL mapping must be collapsed to sl.PlaneBaseVLs(planes) data
+	// VLs and every hop's wire VL is HopVL(sw, dst, base).
+	planes int
+	// groupOf[s] is the dragonfly group of switch s (nil otherwise);
+	// the escape plane is chosen by comparing it against the
+	// destination's group.
+	groupOf []int
 }
+
+// ComputeFor builds the deadlock-free forwarding tables matching the
+// topology's class: up*/down* for irregular networks,
+// destination-based up/down for fat-trees, minimal l-g-l with a VL
+// escape plane for dragonflies.
+func ComputeFor(topo *topology.Topology) (*Routes, error) {
+	switch topo.Spec.Class {
+	case topology.Irregular:
+		return Compute(topo)
+	case topology.FatTree:
+		return computeFatTree(topo)
+	case topology.Dragonfly:
+		return computeDragonfly(topo)
+	}
+	return nil, fmt.Errorf("routing: unknown topology class %v", topo.Spec.Class)
+}
+
+// Class returns the topology class the tables were built for.
+func (r *Routes) Class() topology.Class { return r.topo.Spec.Class }
+
+// Topo returns the topology the tables were built for.
+func (r *Routes) Topo() *topology.Topology { return r.topo }
+
+// Planes returns the number of VL-escape planes the engine requires.
+func (r *Routes) Planes() int {
+	if r.planes < 1 {
+		return 1
+	}
+	return r.planes
+}
+
+// BaseVLs returns the number of base data VLs the SLtoVL mapping may
+// use under this engine (sl.PlaneBaseVLs of Planes).
+func (r *Routes) BaseVLs() int { return sl.PlaneBaseVLs(r.Planes()) }
+
+// PlaneToSwitch returns the VL plane a packet headed for destination
+// switch dsw travels on when transmitted by switch sw.  Single-plane
+// engines always return 0; the dragonfly returns 1 once the packet is
+// inside the destination group (the escape plane that breaks the
+// global/local dependency cycle).
+func (r *Routes) PlaneToSwitch(sw, dsw int) int {
+	if r.groupOf == nil {
+		return 0
+	}
+	if r.groupOf[sw] == r.groupOf[dsw] {
+		return 1
+	}
+	return 0
+}
+
+// HopVLToSwitch returns the wire VL of a packet with base VL base when
+// transmitted by switch sw toward destination switch dsw.
+func (r *Routes) HopVLToSwitch(sw, dsw int, base uint8) uint8 {
+	return sl.PlaneVL(base, r.PlaneToSwitch(sw, dsw), r.Planes())
+}
+
+// HopVL returns the wire VL of a packet with base VL base when
+// transmitted by switch sw toward destination host dstHost.  It is also
+// the injection VL when sw is the source host's switch.
+func (r *Routes) HopVL(sw, dstHost int, base uint8) uint8 {
+	if r.groupOf == nil {
+		return base // single plane: identity, the common fast path
+	}
+	dsw, _ := r.topo.HostSwitch(dstHost)
+	return r.HopVLToSwitch(sw, dsw, base)
+}
+
+// NextPortToSwitch returns the output port switch sw uses toward
+// destination switch dsw (-1 when sw == dsw or no route is defined).
+func (r *Routes) NextPortToSwitch(sw, dsw int) int { return r.next[sw][dsw] }
 
 // Compute builds up*/down* forwarding tables for the topology.  The
 // topology must be connected.

@@ -222,6 +222,34 @@ func EffectiveDistances(levels []Level, m Mapping) map[uint8]int {
 // VLFor returns the virtual lane of an SL under the mapping.
 func (m Mapping) VLFor(sl uint8) uint8 { return m[sl%arbtable.NumVLs] }
 
+// VL-escape planes.  Routing engines that need more than one virtual
+// channel per physical link to break deadlock (the dragonfly's
+// minimal+escape scheme) partition the data VLs into equal planes: a
+// packet travels on VL  base + plane*stride, where base is the VL the
+// SLtoVL mapping assigns and plane is chosen per hop by the routing
+// engine.  The SL mapping must therefore be collapsed to at most
+// PlaneBaseVLs(planes) data VLs.
+
+// PlaneBaseVLs returns the number of base data VLs available to the
+// SLtoVL mapping when the routing engine claims the given number of
+// planes: NumDataVLs/planes (all of them for a single plane).
+func PlaneBaseVLs(planes int) int {
+	if planes <= 1 {
+		return arbtable.NumDataVLs
+	}
+	return arbtable.NumDataVLs / planes
+}
+
+// PlaneVL shifts a base VL into a plane.  The management VL (and any
+// VL outside the collapsed base range) passes through unshifted, as
+// does everything when the engine uses a single plane.
+func PlaneVL(base uint8, plane, planes int) uint8 {
+	if planes <= 1 || plane <= 0 || int(base) >= PlaneBaseVLs(planes) {
+		return base
+	}
+	return base + uint8(plane*PlaneBaseVLs(planes))
+}
+
 // ByID returns the level description with the given SL number.
 func ByID(levels []Level, id uint8) (Level, error) {
 	for _, l := range levels {

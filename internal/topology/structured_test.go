@@ -1,0 +1,158 @@
+package topology_test
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8} {
+		topo, err := topology.GenerateFatTree(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		half := k / 2
+		if want := 2*k*half + half*half; topo.NumSwitches != want {
+			t.Errorf("k=%d: %d switches, want %d", k, topo.NumSwitches, want)
+		}
+		if want := k * half * half; topo.NumHosts() != want {
+			t.Errorf("k=%d: %d hosts, want %d", k, topo.NumHosts(), want)
+		}
+		if !topo.Connected() {
+			t.Fatalf("k=%d: disconnected", k)
+		}
+		l, _ := topology.NewFatTreeLayout(k)
+		// Edge switches carry k/2 hosts and k/2 up links; cores carry k
+		// down links and no hosts.
+		for pod := 0; pod < k; pod++ {
+			for e := 0; e < half; e++ {
+				if got := topo.SwitchHosts(l.Edge(pod, e)); got != half {
+					t.Fatalf("k=%d edge (%d,%d): %d hosts, want %d", k, pod, e, got, half)
+				}
+			}
+		}
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				core := l.Core(a, c)
+				if got := topo.SwitchHosts(core); got != 0 {
+					t.Fatalf("k=%d core (%d,%d): %d hosts, want 0", k, a, c, got)
+				}
+				if got := len(topo.Neighbors(core)); got != k {
+					t.Fatalf("k=%d core (%d,%d): %d links, want %d", k, a, c, got, k)
+				}
+			}
+		}
+	}
+	if _, err := topology.GenerateFatTree(3); err == nil {
+		t.Error("odd arity accepted")
+	}
+	if _, err := topology.GenerateFatTree(10); err == nil {
+		t.Error("arity beyond the radix accepted")
+	}
+}
+
+func TestDragonflyShape(t *testing.T) {
+	for _, s := range [][3]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 2}, {4, 2, 2}, {2, 4, 3}} {
+		a, p, h := s[0], s[1], s[2]
+		topo, err := topology.GenerateDragonfly(a, p, h)
+		if err != nil {
+			t.Fatalf("(%d,%d,%d): %v", a, p, h, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("(%d,%d,%d): %v", a, p, h, err)
+		}
+		g := a*h + 1
+		if want := g * a; topo.NumSwitches != want {
+			t.Errorf("(%d,%d,%d): %d switches, want %d", a, p, h, topo.NumSwitches, want)
+		}
+		if want := g * a * p; topo.NumHosts() != want {
+			t.Errorf("(%d,%d,%d): %d hosts, want %d", a, p, h, topo.NumHosts(), want)
+		}
+		if !topo.Connected() {
+			t.Fatalf("(%d,%d,%d): disconnected", a, p, h)
+		}
+		// Every switch: p hosts, a-1 local links, h global links.
+		for sw := 0; sw < topo.NumSwitches; sw++ {
+			if got := topo.SwitchHosts(sw); got != p {
+				t.Fatalf("(%d,%d,%d) switch %d: %d hosts, want %d", a, p, h, sw, got, p)
+			}
+			if got := len(topo.Neighbors(sw)); got != a-1+h {
+				t.Fatalf("(%d,%d,%d) switch %d: %d links, want %d", a, p, h, sw, got, a-1+h)
+			}
+		}
+		// Exactly one global link between every pair of groups.
+		l, _ := topology.NewDragonflyLayout(a, p, h)
+		pairLinks := make(map[[2]int]int)
+		for _, link := range topo.Links() {
+			ga, _ := l.Group(link.A.Switch)
+			gb, _ := l.Group(link.B.Switch)
+			if ga == gb {
+				continue
+			}
+			if gb < ga {
+				ga, gb = gb, ga
+			}
+			pairLinks[[2]int{ga, gb}]++
+		}
+		for i := 0; i < g; i++ {
+			for j := i + 1; j < g; j++ {
+				if c := pairLinks[[2]int{i, j}]; c != 1 {
+					t.Fatalf("(%d,%d,%d): groups %d,%d joined by %d global links, want 1", a, p, h, i, j, c)
+				}
+			}
+		}
+	}
+	if _, err := topology.GenerateDragonfly(8, 1, 1); err == nil {
+		t.Error("dragonfly beyond the radix accepted")
+	}
+	if _, err := topology.GenerateDragonfly(0, 1, 1); err == nil {
+		t.Error("a=0 accepted")
+	}
+}
+
+// TestValidateNonUniformHosts pins the fix this PR's fuzzing flushed
+// out: Validate must accept topologies whose hosts are NOT spread
+// uniformly HostsPerSwitch-per-switch — a fat-tree core has none — and
+// must reject host tables that disagree with the port tables.
+func TestValidateNonUniformHosts(t *testing.T) {
+	topo := topology.NewManual(3)
+	if err := topo.Connect(0, 4, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(1, 5, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Hosts only on switches 0 (three of them) and 2 (one).
+	for _, loc := range [][2]int{{0, 0}, {0, 1}, {0, 7}, {2, 3}} {
+		if _, err := topo.AttachHost(loc[0], loc[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("non-uniform host layout rejected: %v", err)
+	}
+	if got := topo.SwitchHosts(1); got != 0 {
+		t.Errorf("switch 1 reports %d hosts, want 0", got)
+	}
+	if h := topo.HostAt(0, 7); h != 2 {
+		t.Errorf("HostAt(0,7) = %d, want 2", h)
+	}
+	if sw, port := topo.HostSwitch(3); sw != 2 || port != 3 {
+		t.Errorf("HostSwitch(3) = (%d,%d), want (2,3)", sw, port)
+	}
+
+	// Port conflicts must be rejected at construction time.
+	if _, err := topo.AttachHost(0, 0); err == nil {
+		t.Error("double-booked host port accepted")
+	}
+	if err := topo.Connect(0, 1, 2, 5); err == nil {
+		t.Error("link over a host port accepted")
+	}
+	if err := topo.Connect(1, 1, 1, 2); err == nil {
+		t.Error("self-link accepted")
+	}
+}

@@ -1,7 +1,16 @@
-// Package topology generates the irregular switch networks used in the
-// paper's evaluation (section 4.1): randomly wired networks of 8-port
-// switches, four ports with a host attached and four used for links
-// between switches.
+// Package topology models the switch networks the evaluation runs on.
+// The paper's own evaluation uses randomly wired irregular networks of
+// 8-port switches (section 4.1); this package keeps that generator and
+// adds the structured classes production InfiniBand fabrics actually
+// deploy — k-ary fat-trees and canonical dragonflies — behind a common
+// Spec/constructor interface (spec.go).
+//
+// The host layout is table driven: every switch port either carries a
+// host, carries an inter-switch link, or is unused.  The irregular
+// generator attaches HostsPerSwitch hosts to the first ports of every
+// switch (preserving the paper's numbering exactly); the structured
+// generators attach hosts only where their class puts them (fat-tree
+// edge switches, dragonfly router host ports).
 package topology
 
 import (
@@ -10,13 +19,16 @@ import (
 )
 
 const (
-	// SwitchPorts is the number of ports per switch.
+	// SwitchPorts is the number of ports per switch — the radix cap
+	// every generator must fit into.
 	SwitchPorts = 8
-	// HostsPerSwitch is the number of host ports per switch; host
-	// ports are ports 0..HostsPerSwitch-1.
+	// HostsPerSwitch is the number of host ports per switch in the
+	// IRREGULAR class (ports 0..HostsPerSwitch-1).  Structured classes
+	// place hosts per their own layout; use HostAt/SwitchHosts instead
+	// of assuming this is uniform.
 	HostsPerSwitch = 4
-	// InterPorts is the number of ports used for switch-to-switch
-	// links: ports HostsPerSwitch..SwitchPorts-1.
+	// InterPorts is the number of switch-to-switch ports of an
+	// irregular-class switch.
 	InterPorts = SwitchPorts - HostsPerSwitch
 )
 
@@ -26,48 +38,126 @@ type End struct {
 	Port   int
 }
 
-// Topology is an irregular network of switches with hosts attached.
-// Host h is connected to port h % HostsPerSwitch of switch
-// h / HostsPerSwitch.
+// Topology is a network of switches with hosts attached at known
+// (switch, port) locations.
 type Topology struct {
 	NumSwitches int
-	// peer[s][p] is the far end of the link on switch s port p, valid
-	// for inter-switch ports only; Switch == -1 means the port is
-	// unused.
+
+	// Spec records how the topology was built (class and shape
+	// parameters); routing dispatches its per-class engine on it.
+	Spec Spec
+
+	// peer[s][p] is the far end of the link on switch s port p;
+	// Switch == -1 means no inter-switch link on the port.
 	peer [][SwitchPorts]End
+	// hostOf[s][p] is the host attached at switch s port p, -1 if none.
+	hostOf [][SwitchPorts]int
+	// hostLoc[h] is the (switch, port) host h is attached to.
+	hostLoc []End
+}
+
+// NewManual returns an empty topology with the given number of
+// switches: no links, no hosts.  Generators and test fixtures build on
+// it with AttachHost and Connect.
+func NewManual(numSwitches int) *Topology {
+	t := &Topology{
+		NumSwitches: numSwitches,
+		Spec:        Spec{Class: Irregular, Switches: numSwitches},
+		peer:        make([][SwitchPorts]End, numSwitches),
+		hostOf:      make([][SwitchPorts]int, numSwitches),
+	}
+	for s := 0; s < numSwitches; s++ {
+		for p := 0; p < SwitchPorts; p++ {
+			t.peer[s][p] = End{Switch: -1, Port: -1}
+			t.hostOf[s][p] = -1
+		}
+	}
+	return t
+}
+
+// AttachHost attaches the next host to switch sw's port and returns its
+// index.  Hosts are numbered in attachment order.
+func (t *Topology) AttachHost(sw, port int) (int, error) {
+	if sw < 0 || sw >= t.NumSwitches || port < 0 || port >= SwitchPorts {
+		return -1, fmt.Errorf("topology: no port %d:%d", sw, port)
+	}
+	if t.hostOf[sw][port] >= 0 || t.peer[sw][port].Switch >= 0 {
+		return -1, fmt.Errorf("topology: port %d:%d already in use", sw, port)
+	}
+	h := len(t.hostLoc)
+	t.hostOf[sw][port] = h
+	t.hostLoc = append(t.hostLoc, End{Switch: sw, Port: port})
+	return h, nil
+}
+
+// Connect wires switch a port pa to switch b port pb.
+func (t *Topology) Connect(a, pa, b, pb int) error {
+	for _, e := range []End{{a, pa}, {b, pb}} {
+		if e.Switch < 0 || e.Switch >= t.NumSwitches || e.Port < 0 || e.Port >= SwitchPorts {
+			return fmt.Errorf("topology: no port %d:%d", e.Switch, e.Port)
+		}
+		if t.hostOf[e.Switch][e.Port] >= 0 || t.peer[e.Switch][e.Port].Switch >= 0 {
+			return fmt.Errorf("topology: port %d:%d already in use", e.Switch, e.Port)
+		}
+	}
+	if a == b {
+		return fmt.Errorf("topology: self-link on switch %d", a)
+	}
+	t.connect(a, pa, b, pb)
+	return nil
 }
 
 // NumHosts returns the number of hosts in the network.
-func (t *Topology) NumHosts() int { return t.NumSwitches * HostsPerSwitch }
+func (t *Topology) NumHosts() int { return len(t.hostLoc) }
 
 // HostSwitch returns the switch and port a host is attached to.
 func (t *Topology) HostSwitch(host int) (sw, port int) {
-	return host / HostsPerSwitch, host % HostsPerSwitch
+	e := t.hostLoc[host]
+	return e.Switch, e.Port
 }
 
 // HostAt returns the host attached to the given switch port, or -1 if
-// the port is an inter-switch port.
+// the port carries no host.
 func (t *Topology) HostAt(sw, port int) int {
-	if port >= HostsPerSwitch {
+	if port < 0 || port >= SwitchPorts {
 		return -1
 	}
-	return sw*HostsPerSwitch + port
+	return t.hostOf[sw][port]
+}
+
+// SwitchHosts returns the number of hosts attached to a switch.
+func (t *Topology) SwitchHosts(sw int) int {
+	n := 0
+	for p := 0; p < SwitchPorts; p++ {
+		if t.hostOf[sw][p] >= 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Peer returns the far end of an inter-switch port.  The returned
 // End has Switch == -1 when the port is unconnected or a host port.
 func (t *Topology) Peer(sw, port int) End {
-	if port < HostsPerSwitch || port >= SwitchPorts {
+	if port < 0 || port >= SwitchPorts {
 		return End{Switch: -1, Port: -1}
 	}
 	return t.peer[sw][port]
+}
+
+// Wired reports whether a switch port carries anything (host or link).
+func (t *Topology) Wired(sw, port int) bool {
+	if port < 0 || port >= SwitchPorts {
+		return false
+	}
+	return t.hostOf[sw][port] >= 0 || t.peer[sw][port].Switch >= 0
 }
 
 // Neighbors returns, for each connected inter-switch port of sw in
 // ascending port order, the neighboring switch.
 func (t *Topology) Neighbors(sw int) []End {
 	var out []End
-	for p := HostsPerSwitch; p < SwitchPorts; p++ {
+	for p := 0; p < SwitchPorts; p++ {
 		if e := t.peer[sw][p]; e.Switch >= 0 {
 			out = append(out, End{Switch: e.Switch, Port: p})
 		}
@@ -81,10 +171,11 @@ func (t *Topology) connect(a, pa, b, pb int) {
 	t.peer[b][pb] = End{Switch: a, Port: pa}
 }
 
-// freePort returns the lowest unused inter-switch port of sw, or -1.
+// freePort returns the lowest unused port of sw (no host, no link), or
+// -1.
 func (t *Topology) freePort(sw int) int {
-	for p := HostsPerSwitch; p < SwitchPorts; p++ {
-		if t.peer[sw][p].Switch < 0 {
+	for p := 0; p < SwitchPorts; p++ {
+		if t.hostOf[sw][p] < 0 && t.peer[sw][p].Switch < 0 {
 			return p
 		}
 	}
@@ -93,7 +184,7 @@ func (t *Topology) freePort(sw int) int {
 
 // linked reports whether switches a and b are directly connected.
 func (t *Topology) linked(a, b int) bool {
-	for p := HostsPerSwitch; p < SwitchPorts; p++ {
+	for p := 0; p < SwitchPorts; p++ {
 		if t.peer[a][p].Switch == b {
 			return true
 		}
@@ -105,19 +196,21 @@ func (t *Topology) linked(a, b int) bool {
 // switches, reproducibly from the seed.  The construction first wires
 // a random spanning tree (guaranteeing connectivity) and then adds
 // random extra links between switches with free ports, avoiding
-// duplicate links and self-links.
+// duplicate links and self-links.  Every switch carries HostsPerSwitch
+// hosts on its first ports, so host h sits on port h % HostsPerSwitch
+// of switch h / HostsPerSwitch — the paper's numbering.
 func Generate(numSwitches int, seed int64) (*Topology, error) {
 	if numSwitches < 2 {
 		return nil, fmt.Errorf("topology: need at least 2 switches, got %d", numSwitches)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	t := &Topology{
-		NumSwitches: numSwitches,
-		peer:        make([][SwitchPorts]End, numSwitches),
-	}
-	for s := range t.peer {
-		for p := range t.peer[s] {
-			t.peer[s][p] = End{Switch: -1, Port: -1}
+	t := NewManual(numSwitches)
+	t.Spec = Spec{Class: Irregular, Switches: numSwitches, Seed: seed}
+	for s := 0; s < numSwitches; s++ {
+		for p := 0; p < HostsPerSwitch; p++ {
+			if _, err := t.AttachHost(s, p); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -162,16 +255,28 @@ func Generate(numSwitches int, seed int64) (*Topology, error) {
 	return t, nil
 }
 
-// Validate checks structural consistency: links are symmetric and no
-// port is double-booked.
+// Validate checks structural consistency: links are symmetric, no port
+// is double-booked, and the host tables agree with each other.  It
+// makes no assumption about where hosts sit — a fat-tree core switch
+// with zero hosts and an edge switch with hosts on arbitrary ports are
+// both fine — which is what the structured generators require.
 func (t *Topology) Validate() error {
 	for s := 0; s < t.NumSwitches; s++ {
-		for p := HostsPerSwitch; p < SwitchPorts; p++ {
+		for p := 0; p < SwitchPorts; p++ {
 			e := t.peer[s][p]
+			h := t.hostOf[s][p]
+			if e.Switch >= 0 && h >= 0 {
+				return fmt.Errorf("topology: switch %d port %d carries both host %d and link to %+v", s, p, h, e)
+			}
+			if h >= 0 {
+				if h >= len(t.hostLoc) || t.hostLoc[h] != (End{Switch: s, Port: p}) {
+					return fmt.Errorf("topology: host table mismatch at switch %d port %d (host %d)", s, p, h)
+				}
+			}
 			if e.Switch < 0 {
 				continue
 			}
-			if e.Switch >= t.NumSwitches || e.Port < HostsPerSwitch || e.Port >= SwitchPorts {
+			if e.Switch >= t.NumSwitches || e.Port < 0 || e.Port >= SwitchPorts {
 				return fmt.Errorf("topology: switch %d port %d points to invalid end %+v", s, p, e)
 			}
 			back := t.peer[e.Switch][e.Port]
@@ -181,6 +286,14 @@ func (t *Topology) Validate() error {
 			if e.Switch == s {
 				return fmt.Errorf("topology: self-link on switch %d", s)
 			}
+		}
+	}
+	for h, loc := range t.hostLoc {
+		if loc.Switch < 0 || loc.Switch >= t.NumSwitches || loc.Port < 0 || loc.Port >= SwitchPorts {
+			return fmt.Errorf("topology: host %d at invalid location %+v", h, loc)
+		}
+		if t.hostOf[loc.Switch][loc.Port] != h {
+			return fmt.Errorf("topology: host %d location %+v not reflected in port table", h, loc)
 		}
 	}
 	return nil
@@ -219,7 +332,7 @@ type Link struct {
 func (t *Topology) Links() []Link {
 	var out []Link
 	for s := 0; s < t.NumSwitches; s++ {
-		for p := HostsPerSwitch; p < SwitchPorts; p++ {
+		for p := 0; p < SwitchPorts; p++ {
 			e := t.peer[s][p]
 			if e.Switch > s || (e.Switch == s && e.Port > p) {
 				out = append(out, Link{A: End{Switch: s, Port: p}, B: e})
@@ -233,16 +346,21 @@ func (t *Topology) Links() []Link {
 func (t *Topology) Clone() *Topology {
 	c := &Topology{
 		NumSwitches: t.NumSwitches,
+		Spec:        t.Spec,
 		peer:        make([][SwitchPorts]End, t.NumSwitches),
+		hostOf:      make([][SwitchPorts]int, t.NumSwitches),
+		hostLoc:     make([]End, len(t.hostLoc)),
 	}
 	copy(c.peer, t.peer)
+	copy(c.hostOf, t.hostOf)
+	copy(c.hostLoc, t.hostLoc)
 	return c
 }
 
 // RemoveLink disconnects the inter-switch link attached to switch sw's
 // port, modeling a link failure.  Both ends become unused ports.
 func (t *Topology) RemoveLink(sw, port int) error {
-	if sw < 0 || sw >= t.NumSwitches || port < HostsPerSwitch || port >= SwitchPorts {
+	if sw < 0 || sw >= t.NumSwitches || port < 0 || port >= SwitchPorts || t.hostOf[sw][port] >= 0 {
 		return fmt.Errorf("topology: no inter-switch port %d:%d", sw, port)
 	}
 	e := t.peer[sw][port]

@@ -45,6 +45,12 @@ echo "==> go test -race -shuffle=on ./..."
 # default 10m budget.
 go test -race -shuffle=on -timeout=60m ./...
 
+echo "==> go test -run Acyclic ./internal/routing/cdg (deadlock-freedom gate)"
+# Every shipped routing engine must stay provably deadlock-free: the
+# channel-dependency graphs of the irregular, fat-tree and dragonfly
+# engines are re-verified acyclic across the seeded shape grid.
+go test -run 'Acyclic' -count=1 ./internal/routing/cdg
+
 echo "==> go test -run AllocBudget . (zero-alloc hot-path gate)"
 # testing.AllocsPerRun budgets: 0 allocs/op on arbiter pick and on a
 # full per-hop packet forwarding step with metrics disabled.  Must run
@@ -62,10 +68,14 @@ if [[ "$RUN_FUZZ" -eq 1 ]]; then
 ./internal/core FuzzShape
 ./internal/mad FuzzHighTableDecode
 ./internal/faults FuzzFaultSchedule
+./internal/topology FuzzTopologyGenerate
 EOF
 fi
 
 echo "==> ibsim -exp faults -scale tiny (smoke)"
 go run ./cmd/ibsim -exp faults -scale tiny >/dev/null
+
+echo "==> ibsim -exp scale -scale tiny (smoke)"
+go run ./cmd/ibsim -exp scale -scale tiny >/dev/null
 
 echo "==> ci.sh: all green"
