@@ -70,3 +70,48 @@ func TestAllocBudgetPerHopForwarding(t *testing.T) {
 		t.Errorf("StaleArrivals = %d, want 0", s)
 	}
 }
+
+// TestAllocBudgetVOQForwarding gates the input-queued forwarding path:
+// the steady-state packet path through the VOQ crossbar — enqueue into
+// the virtual output queue, the scheduling pass (iSLIP matching or the
+// MWM oracle), the arbitration-table lane pick, and delivery — must
+// also run allocation-free once warm, for both schedulers.
+func TestAllocBudgetVOQForwarding(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets hold only without race instrumentation")
+	}
+	for _, model := range []fabric.SwitchModel{fabric.ModelVOQISLIP, fabric.ModelVOQMWM} {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := fabric.DefaultConfig(2, 256, 41)
+			cfg.SwitchModel = model
+			net, err := fabric.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn, err := net.Adm.Admit(traffic.Request{Src: 0, Dst: 7, Level: sl.DefaultLevels[9], Mbps: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.AddConnection(conn)
+			net.Start()
+			net.Engine.Run(1 << 22)
+			_, delivered, _ := net.Totals()
+			target := delivered
+			cond := func() bool {
+				_, d, _ := net.Totals()
+				return d < target
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				target++
+				net.Engine.RunWhile(cond)
+			})
+			if allocs != 0 {
+				t.Errorf("%s forwarding allocates %.2f allocs/op, want 0", model, allocs)
+			}
+			if s := net.StaleArrivals(); s != 0 {
+				t.Errorf("StaleArrivals = %d, want 0", s)
+			}
+		})
+	}
+}

@@ -351,6 +351,44 @@ func BenchmarkPerHopForwarding(b *testing.B) {
 	}
 }
 
+// BenchmarkVOQForward measures the same full packet path through the
+// input-queued switch models: VOQ enqueue, crossbar scheduling pass
+// (iSLIP or the exact MWM oracle), arbitration-table lane pick, and
+// delivery.  The 0 allocs/op report is the VOQ half of the zero-
+// garbage contract ci.sh gates.
+func BenchmarkVOQForward(b *testing.B) {
+	for _, model := range []fabric.SwitchModel{fabric.ModelVOQISLIP, fabric.ModelVOQMWM} {
+		model := model
+		b.Run(model.String(), func(b *testing.B) {
+			cfg := fabric.DefaultConfig(2, 256, 41)
+			cfg.SwitchModel = model
+			net, err := fabric.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			conn, err := net.Adm.Admit(traffic.Request{Src: 0, Dst: 7, Level: sl.DefaultLevels[9], Mbps: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.AddConnection(conn)
+			net.Start()
+			net.Engine.Run(1 << 22)
+			_, delivered, _ := net.Totals()
+			var target int64
+			cond := func() bool {
+				_, d, _ := net.Totals()
+				return d < target
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target = delivered + int64(i) + 1
+				net.Engine.RunWhile(cond)
+			}
+		})
+	}
+}
+
 // BenchmarkRouting measures up*/down* route computation for the
 // paper's 16-switch network.
 func BenchmarkRouting(b *testing.B) {

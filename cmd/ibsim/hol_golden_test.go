@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestHOLJSONGolden pins the -exp hol JSON at the tiny scale (seed 1)
+// against a checked-in golden.  Every point is a pure function of its
+// derived seed, so any diff is a real behavior or format change;
+// regenerate deliberately with
+//
+//	go test ./cmd/ibsim -run HOLJSONGolden -update
+func TestHOLJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.HOLTiny()
+	res, err := experiments.HOLSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := emitHOLJSON(&buf, base, res); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "hol.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("hol JSON diverged from %s (rerun with -update if intended)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestHOLJSONParallelIdentical is the worker-count regression: the
+// sweep's JSON must be byte-identical whether the points run on one
+// worker or four.
+func TestHOLJSONParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.HOLTiny()
+	encode := func(workers int) []byte {
+		res, err := experiments.HOLSweep(base, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := emitHOLJSON(&buf, base, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := encode(1), encode(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("hol JSON depends on worker count: %d bytes serial, %d parallel",
+			len(serial), len(parallel))
+	}
+}
+
+// TestHOLJSONShape checks the invariants scripts rely on: the sweep
+// covers every (spec, load, model) point of the grid in order, the
+// models of a cell share one seed and offer the same admitted load,
+// WRR rows carry no VOQ block while the input-queued rows do.
+func TestHOLJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.HOLTiny()
+	res, err := experiments.HOLSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emitHOLJSON(&buf, base, res); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Runs []struct {
+			Label    string  `json:"label"`
+			Model    string  `json:"model"`
+			Load     float64 `json:"load"`
+			Seed     int64   `json:"seed"`
+			Admitted int     `json:"admitted"`
+			VOQ      *struct {
+				SchedPasses int64 `json:"schedPasses"`
+			} `json:"voq"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	want := len(base.Specs) * len(base.Loads) * len(base.Models)
+	if len(rep.Runs) != want {
+		t.Fatalf("sweep has %d runs, want %d", len(rep.Runs), want)
+	}
+	i := 0
+	for _, spec := range base.Specs {
+		for _, load := range base.Loads {
+			cellSeed := rep.Runs[i].Seed
+			cellAdmitted := rep.Runs[i].Admitted
+			for _, model := range base.Models {
+				r := rep.Runs[i]
+				if r.Label != spec.Label() || r.Load != load || r.Model != model.String() {
+					t.Errorf("run %d is (%s, %s, %g), want (%s, %s, %g)",
+						i, r.Label, r.Model, r.Load, spec.Label(), model, load)
+				}
+				if r.Seed != cellSeed {
+					t.Errorf("run %d: seed %d differs within its cell (want %d) — models must see identical traffic",
+						i, r.Seed, cellSeed)
+				}
+				if r.Admitted != cellAdmitted {
+					t.Errorf("run %d: admitted %d differs within its cell (want %d)",
+						i, r.Admitted, cellAdmitted)
+				}
+				isVOQ := model.String() != "wrr"
+				if isVOQ && (r.VOQ == nil || r.VOQ.SchedPasses == 0) {
+					t.Errorf("run %d (%s): missing or empty VOQ counters", i, r.Model)
+				}
+				if !isVOQ && r.VOQ != nil {
+					t.Errorf("run %d (wrr): unexpected VOQ counters", i)
+				}
+				i++
+			}
+		}
+	}
+}

@@ -151,6 +151,26 @@ func emitScaleJSON(w io.Writer, base experiments.ScaleParams, res []experiments.
 	})
 }
 
+// holReport is the machine-readable form of a HOL-blocking
+// switch-model sweep.
+type holReport struct {
+	BaseSeed   int64                   `json:"baseSeed"`
+	Loads      []float64               `json:"loads"`
+	Payload    int                     `json:"payload"`
+	ISLIPIters int                     `json:"islipIters"`
+	Runs       []experiments.HOLResult `json:"runs"`
+}
+
+func emitHOLJSON(w io.Writer, base experiments.HOLParams, res []experiments.HOLResult) error {
+	return encodeIndented(w, holReport{
+		BaseSeed:   base.Seed,
+		Loads:      base.Loads,
+		Payload:    base.Payload,
+		ISLIPIters: base.ISLIPIters,
+		Runs:       res,
+	})
+}
+
 func encodeIndented(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -15,6 +15,8 @@
 //	                                  # table reprogramming (JSON)
 //	ibsim -exp scale -scale tiny      # structured fabrics (fat-tree,
 //	                                  # dragonfly, irregular) under load
+//	ibsim -exp hol -islip-iters 2     # WRR vs iSLIP vs MWM switch models
+//	                                  # (head-of-line-blocking audit)
 package main
 
 import (
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|scale|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|scale|hol|all")
 		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
 		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
 		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
@@ -46,6 +48,7 @@ func main() {
 		withMetrics = flag.Bool("metrics", false, "collect per-port arbitration metrics and append a JSON dump")
 		traceEvents = flag.Int("trace", 0, "record the last N arbitration decisions per run (implies -metrics)")
 		churnSeeds  = flag.Int("churn-seeds", 4, "independent seeds for -exp churn")
+		islipIters  = flag.Int("islip-iters", 0, "iSLIP iteration depth for -exp hol (0 = default)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -178,6 +181,21 @@ func main() {
 		if err := emitScaleJSON(os.Stdout, base, res); err != nil {
 			fatal(err)
 		}
+	case "hol":
+		base := holParams(*scale)
+		if *seed != 0 {
+			base.Seed = *seed
+		}
+		base.ISLIPIters = *islipIters
+		res, err := experiments.HOLSweep(base, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintHOL(os.Stdout, res)
+		fmt.Println()
+		if err := emitHOLJSON(os.Stdout, base, res); err != nil {
+			fatal(err)
+		}
 	case "scaling":
 		ns, err := parseSizes(*sizes)
 		if err != nil {
@@ -287,6 +305,15 @@ func scaleParams(scale string) experiments.ScaleParams {
 		return experiments.ScaleTiny()
 	}
 	return experiments.ScaleQuick()
+}
+
+// holParams maps a scale preset onto the HOL-blocking switch-model
+// experiment.
+func holParams(scale string) experiments.HOLParams {
+	if scale == "tiny" {
+		return experiments.HOLTiny()
+	}
+	return experiments.HOLQuick()
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/sl"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// HOLParams sizes the head-of-line-blocking experiment: the paper's
+// table fill-in algorithm assumes output-driven WRR switches, and this
+// sweep audits whether its distance-based QoS guarantee survives on
+// input-queued hardware.  Every (spec, load) point runs once per
+// switch model — the WRR baseline, iSLIP, and the MWM oracle — with
+// the SAME derived seed, so the three rows of a point offer identical
+// traffic to identical fabrics and differ only in the switch
+// scheduler.  The audit is then a straight column comparison: deadline
+// satisfaction and worst delay/deadline ratio against the WRR row,
+// with the VOQ counters (HOL stalls, matching sizes) explaining any
+// erosion.
+type HOLParams struct {
+	Specs   []topology.Spec
+	Models  []fabric.SwitchModel
+	Loads   []float64 // offered-load factors, as in ScaleParams
+	Seed    int64
+	Payload int // packet payload bytes
+
+	// ISLIPIters is the iteration depth of the iSLIP points; zero
+	// selects fabric.DefaultISLIPIters.
+	ISLIPIters int
+
+	MaxConsecutiveRejects int
+	MinPacketsSlowest     int
+	WarmupIATs            int64
+}
+
+// HOLTiny is the unit-test and golden-file scale: the smallest member
+// of each topology class, all three switch models, a light and a heavy
+// load.
+func HOLTiny() HOLParams {
+	return HOLParams{
+		Specs: []topology.Spec{
+			{Class: topology.Irregular, Switches: 4, Seed: 42},
+			{Class: topology.FatTree, K: 2},
+			{Class: topology.Dragonfly, A: 2, P: 1, H: 1},
+		},
+		Models: []fabric.SwitchModel{
+			fabric.ModelWRR, fabric.ModelVOQISLIP, fabric.ModelVOQMWM,
+		},
+		Loads:                 []float64{0.5, 2},
+		Seed:                  1,
+		Payload:               512,
+		MaxConsecutiveRejects: 20,
+		MinPacketsSlowest:     30,
+		WarmupIATs:            1,
+	}
+}
+
+// HOLQuick is the CLI default: mid-size instances of each class.
+func HOLQuick() HOLParams {
+	p := HOLTiny()
+	p.Specs = []topology.Spec{
+		{Class: topology.Irregular, Switches: 8, Seed: 42},
+		{Class: topology.FatTree, K: 4},
+		{Class: topology.Dragonfly, A: 4, P: 2, H: 2},
+	}
+	p.Loads = []float64{0.5, 1, 2}
+	p.MinPacketsSlowest = 60
+	return p
+}
+
+// HOLResult is the outcome of one (spec, model, load) point.  Every
+// field is a pure function of the point's parameters and seed, so
+// equal inputs give byte-identical JSON at any worker count.
+type HOLResult struct {
+	Label    string  `json:"label"`
+	Model    string  `json:"model"`
+	Switches int     `json:"switches"`
+	Hosts    int     `json:"hosts"`
+	Seed     int64   `json:"seed"`
+	Load     float64 `json:"load"`
+
+	Attempts int `json:"attempts"`
+	Admitted int `json:"admitted"`
+	BEFlows  int `json:"beFlows"`
+
+	DeliveredBPCNode float64 `json:"deliveredBPCNode"`
+	SwitchUtil       float64 `json:"switchUtil"`
+
+	// The distance-guarantee audit columns: under the paper's scheme
+	// every admitted QoS packet should meet its deadline (delay ratio
+	// ≤ 1); HOL blocking shows up here first as a rising worst ratio.
+	MeanDelayRatio  float64 `json:"meanDelayRatio"`
+	WorstDelayRatio float64 `json:"worstDelayRatio"`
+	DeadlineMetPct  float64 `json:"deadlineMetPct"`
+	DroppedPackets  int64   `json:"droppedPackets"`
+	EndTimeBT       int64   `json:"endTimeBT"`
+
+	// VOQ carries the input-queued scheduler's counters (scheduling
+	// passes, matching sizes, HOL stalls); absent on the WRR rows.
+	VOQ *metrics.VOQSnapshot `json:"voq,omitempty"`
+}
+
+// HOLPoint runs one (spec, model, load) point.
+func HOLPoint(p HOLParams, spec topology.Spec, model fabric.SwitchModel, load float64, seed int64) (HOLResult, error) {
+	var res HOLResult
+	if load <= 0 || p.Payload < 1 || p.MinPacketsSlowest < 1 {
+		return res, fmt.Errorf("experiments: hol point (%v, %v, load %g) out of range", spec, model, load)
+	}
+	topo, err := spec.Generate()
+	if err != nil {
+		return res, err
+	}
+	cfg := fabric.DefaultConfig(topo.NumSwitches, p.Payload, seed)
+	cfg.SwitchModel = model
+	cfg.ISLIPIters = p.ISLIPIters
+	net, err := fabric.NewWithTopology(cfg, topo)
+	if err != nil {
+		return res, err
+	}
+	m := net.EnableMetrics()
+
+	res.Label = spec.Label()
+	res.Model = model.String()
+	res.Switches = topo.NumSwitches
+	res.Hosts = topo.NumHosts()
+	res.Seed = seed
+	res.Load = load
+
+	// The offered traffic depends only on (topo, seed), never on the
+	// model: all models of a point admit the same connections and
+	// carry the same best-effort background.
+	src := traffic.NewSource(sl.DefaultLevels, topo.NumHosts(), seed+1)
+	attempts := int(math.Ceil(load * float64(topo.NumHosts())))
+	if attempts < 1 {
+		attempts = 1
+	}
+	var flows []*fabric.Flow
+	consecutive := 0
+	for i := 0; i < attempts && consecutive < p.MaxConsecutiveRejects; i++ {
+		res.Attempts++
+		conn, err := net.Adm.Admit(src.Next())
+		if err != nil {
+			consecutive++
+			continue
+		}
+		consecutive = 0
+		res.Admitted++
+		flows = append(flows, net.AddConnection(conn))
+	}
+	if res.Admitted == 0 {
+		return res, fmt.Errorf("experiments: hol point %s/%s load %g admitted no connections",
+			res.Label, res.Model, load)
+	}
+	for _, be := range traffic.BestEffortBackground(topo.NumHosts(), load, seed+2) {
+		net.AddBestEffort(be)
+		res.BEFlows++
+	}
+
+	slowest := flows[0]
+	for _, f := range flows[1:] {
+		if f.IAT > slowest.IAT {
+			slowest = f
+		}
+	}
+	net.Start()
+	warmup := p.WarmupIATs * slowest.IAT
+	net.Engine.Run(warmup)
+	net.StartMeasurement()
+	target := int64(p.MinPacketsSlowest)
+	timeCap := warmup + (target+8)*slowest.IAT*2
+	engine := net.Engine
+	engine.RunWhile(func() bool {
+		return slowest.Delivered.Packets < target && engine.Now() < timeCap
+	})
+
+	if err := net.CheckBuffers(); err != nil {
+		return res, err
+	}
+	_, _, dropped := net.Totals()
+	res.DroppedPackets = dropped
+	res.DeliveredBPCNode = net.DeliveredBytesPerCyclePerNode()
+	res.SwitchUtil = net.MeanSwitchPortUtilization()
+
+	delay := stats.NewDelayCDF()
+	for _, f := range flows {
+		delay.Merge(f.Delay)
+	}
+	if delay.Total() > 0 {
+		res.MeanDelayRatio = delay.MeanRatio()
+		res.WorstDelayRatio = delay.MaxRatio()
+		res.DeadlineMetPct = delay.PercentMeetingDeadline()
+	}
+	res.EndTimeBT = engine.Now()
+	res.VOQ = m.Snapshot().VOQ
+	return res, nil
+}
+
+// HOLSweep runs every (spec, load, model) point of the grid.  The
+// derived seed depends only on the (spec, load) cell, so the models of
+// a cell see identical traffic; results come back in input order
+// regardless of worker count, so the sweep's JSON encoding is
+// bit-identical at any parallelism.
+func HOLSweep(p HOLParams, workers int) ([]HOLResult, error) {
+	type point struct {
+		spec  topology.Spec
+		model fabric.SwitchModel
+		load  float64
+		cell  int // (spec, load) index shared by the cell's models
+	}
+	var grid []point
+	cell := 0
+	for _, spec := range p.Specs {
+		for _, load := range p.Loads {
+			for _, model := range p.Models {
+				grid = append(grid, point{spec, model, load, cell})
+			}
+			cell++
+		}
+	}
+	jobs := make([]runner.Job[HOLResult], len(grid))
+	for i := range jobs {
+		pt := grid[i]
+		jobs[i] = runner.Job[HOLResult]{
+			Name: fmt.Sprintf("%s-%s-load%g", pt.spec.Label(), pt.model, pt.load),
+			Seed: runner.DeriveSeed(p.Seed, pt.cell),
+			Run: func(_ context.Context, seed int64) (HOLResult, error) {
+				return HOLPoint(p, pt.spec, pt.model, pt.load, seed)
+			},
+		}
+	}
+	results := runner.Sweep(context.Background(), jobs, runner.Options{Workers: workers})
+	out := make([]HOLResult, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.Name, r.Err)
+		}
+		out[r.Index] = r.Value
+	}
+	return out, nil
+}
+
+// PrintHOL renders a HOL sweep, one row per (spec, model, load) point,
+// the models of a cell grouped so the WRR baseline reads directly
+// above its input-queued challengers.
+func PrintHOL(w io.Writer, res []HOLResult) {
+	if len(res) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "HOL-blocking audit — WRR vs iSLIP vs MWM on identical traffic")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "topology\tmodel\tload\tadm/att\tdel BPC/node\tsw util\tdelay\tworst\tdeadline%\tHOL stalls\tmatch\tdrop")
+	for _, r := range res {
+		stalls, match := "-", "-"
+		if r.VOQ != nil {
+			stalls = fmt.Sprintf("%d", r.VOQ.HOLStalls)
+			match = fmt.Sprintf("%.2f", r.VOQ.MeanMatchSize)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2g\t%d/%d\t%.4f\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%s\t%d\n",
+			r.Label, r.Model, r.Load, r.Admitted, r.Attempts,
+			r.DeliveredBPCNode, r.SwitchUtil, r.MeanDelayRatio, r.WorstDelayRatio,
+			r.DeadlineMetPct, stalls, match, r.DroppedPackets)
+	}
+	tw.Flush()
+}

@@ -43,6 +43,11 @@ const (
 	// link.  B carries the packet's generation at scheduling time; a
 	// mismatch means the packet was recycled and the event is stale.
 	evArrive
+	// evVOQSched is the deferred crossbar scheduling pass at
+	// input-queued switch A (clears the pending flag, then runs one
+	// matching; see voq.go).  The whole switch is one scheduling point
+	// under the VOQ models, unlike the WRR model's per-output passes.
+	evVOQSched
 )
 
 // portCode encodes an arbitration point in one int32: host h is
@@ -78,6 +83,9 @@ func (n *Network) HandleEvent(ev sim.Event) {
 		n.kickHeadsOfInput(int(ev.A), int(ev.B))
 	case evXmitDone:
 		n.xmitDone(ev.A, ev.B, int(ev.N>>32), int(int32(ev.N)))
+	case evVOQSched:
+		n.switches[ev.A].voq.pending = false
+		n.voqSched(int(ev.A))
 	case evArrive:
 		pkt := ev.P.(*Packet)
 		if pkt.gen != uint32(ev.B) {

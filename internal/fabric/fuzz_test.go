@@ -1,0 +1,101 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzISLIPSchedule throws arbitrary scheduler states at the iSLIP
+// arbiter: pointer positions (including out-of-range values), request
+// matrices and iteration counts, run for several consecutive passes so
+// pointer updates feed back into the next matching.  Invariants: the
+// result is always a valid partial matching of the requests, pointers
+// stay reduced, enough iterations always yield a maximal matching, and
+// the matching is deterministic in the state.
+func FuzzISLIPSchedule(f *testing.F) {
+	const P = topology.SwitchPorts
+	// Seeds: reset state, saturated uniform load, colliding pointers,
+	// out-of-range pointers, sparse diagonal requests.
+	f.Add(make([]byte, 2*P+P+1))
+	f.Add(append(append(make([]byte, 2*P), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff), 1))
+	f.Add(append([]byte{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+		0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01, 4))
+	f.Add(append([]byte{200, 201, 202, 203, 255, 255, 255, 255, 9, 9, 9, 9, 9, 9, 9, 9},
+		0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2*P+P+1 {
+			return
+		}
+		var st ISLIPState
+		for i := 0; i < P; i++ {
+			st.Grant[i] = data[i]
+			st.Accept[i] = data[P+i]
+		}
+		var req [P]uint8
+		copy(req[:], data[2*P:2*P+P])
+		iters := int(data[2*P+P])%(2*P) + 1
+
+		for pass := 0; pass < 4; pass++ {
+			before := st
+			var m1, m2 [P]int8
+			size := st.Match(&req, iters, &m1)
+
+			// Determinism: the same state and requests reproduce the
+			// same matching and the same successor state.
+			st2 := before
+			if s2 := st2.Match(&req, iters, &m2); s2 != size || m1 != m2 || st2 != st {
+				t.Fatalf("non-deterministic: size %d/%d, match %v/%v", size, s2, m1, m2)
+			}
+
+			// Valid partial matching of the requests.
+			var inSeen [P]bool
+			count := 0
+			for j := 0; j < P; j++ {
+				i := m1[j]
+				if i < 0 {
+					continue
+				}
+				count++
+				if int(i) >= P {
+					t.Fatalf("output %d matched to input %d out of range", j, i)
+				}
+				if inSeen[i] {
+					t.Fatalf("input %d matched twice: %v", i, m1)
+				}
+				inSeen[i] = true
+				if req[i]&(1<<j) == 0 {
+					t.Fatalf("matched pair %d->%d was never requested", i, j)
+				}
+			}
+			if count != size {
+				t.Fatalf("size %d, matched outputs %d", size, count)
+			}
+
+			// Pointers always land reduced, whatever came in.
+			for i := 0; i < P; i++ {
+				if before.Grant[i] != st.Grant[i] && st.Grant[i] >= P {
+					t.Fatalf("grant pointer %d updated out of range: %d", i, st.Grant[i])
+				}
+				if before.Accept[i] != st.Accept[i] && st.Accept[i] >= P {
+					t.Fatalf("accept pointer %d updated out of range: %d", i, st.Accept[i])
+				}
+			}
+
+			// Maximality at full depth: no free request edge remains.
+			if iters >= P {
+				for i := 0; i < P; i++ {
+					if inSeen[i] {
+						continue
+					}
+					for j := 0; j < P; j++ {
+						if m1[j] < 0 && req[i]&(1<<j) != 0 {
+							t.Fatalf("not maximal: free edge %d->%d in %v", i, j, m1)
+						}
+					}
+				}
+			}
+		}
+	})
+}

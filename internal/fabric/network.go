@@ -43,6 +43,17 @@ type Config struct {
 	// holding its scheduled VL is still busy with another transfer.
 	CrossbarSpeedup int
 
+	// SwitchModel selects the simulated switch hardware: the paper's
+	// output-driven WRR model (the zero value), or the input-queued
+	// VOQ model scheduled by iSLIP or by the exact maximum-weight-
+	// matching oracle (see voq.go).  Hosts are unaffected.
+	SwitchModel SwitchModel
+
+	// ISLIPIters is the request-grant-accept iteration count of the
+	// iSLIP crossbar scheduler; zero selects DefaultISLIPIters.
+	// Ignored by the other models.
+	ISLIPIters int
+
 	// Low-priority table weights for the best-effort service levels
 	// (PBE, BE, CH); zero selects the defaults.
 	LowWeights [3]uint8
@@ -113,6 +124,13 @@ type Network struct {
 	// instead of keeping the injection VL end to end.
 	planes int
 
+	// Input-queued switch model state (see voq.go): the selected
+	// model, the iSLIP iteration depth, and the shared MWM solver
+	// scratch (nil unless the oracle model is selected).
+	model      SwitchModel
+	islipIters int
+	mwm        *mwmScratch
+
 	// OnDeliver, when set, observes every packet reaching its
 	// destination host (after the flow statistics update).  The
 	// transport layer hooks message reassembly here.
@@ -123,6 +141,18 @@ type Network struct {
 	// and the chosen output port.  Costs the hot path one nil check;
 	// the routing cross-check tests hook here.
 	OnForward func(pkt *Packet, sw, port int)
+
+	// OnMatch, when set, observes every crossbar scheduling pass at an
+	// input-queued switch: the switch, the matching (match[j] = the
+	// input feeding output j, -1 idle) and its size.  The matching
+	// array is scratch owned by the caller — copy it, don't keep it.
+	OnMatch func(sw int, match *[topology.SwitchPorts]int8, size int)
+
+	// OnVOQDequeue, when set, observes every data-VL VOQ head dequeue
+	// (switch, input port, output port, queueing VL) right before the
+	// packet crosses the crossbar.  The oracle-driven tests pair it
+	// with OnMatch to prove forwards ⊆ matchings.
+	OnVOQDequeue func(sw, in, out, vl int)
 
 	// Metrics, when non-nil, receives fabric-wide observability
 	// counters (per-VL bytes arbitrated, scan lengths, stalls, queue
@@ -195,6 +225,10 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("fabric: queue caps must be positive")
 	case cfg.DataVLs != 0 && (cfg.DataVLs < 3 || cfg.DataVLs > 15):
 		return fmt.Errorf("fabric: DataVLs %d outside [3,15]", cfg.DataVLs)
+	case cfg.SwitchModel < ModelWRR || cfg.SwitchModel > ModelVOQMWM:
+		return fmt.Errorf("fabric: unknown switch model %d", int(cfg.SwitchModel))
+	case cfg.ISLIPIters < 0:
+		return fmt.Errorf("fabric: negative iSLIP iteration count %d", cfg.ISLIPIters)
 	}
 	return nil
 }
@@ -337,8 +371,27 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		}
 		n.switches[s] = node
 	}
+
+	// Input-queued models: VOQ state per switch, iSLIP depth, and the
+	// MWM solver scratch.  The default WRR model allocates none of it.
+	n.model = cfg.SwitchModel
+	if n.model != ModelWRR {
+		n.islipIters = cfg.ISLIPIters
+		if n.islipIters == 0 {
+			n.islipIters = DefaultISLIPIters
+		}
+		for _, s := range n.switches {
+			s.voq = &voqState{}
+		}
+		if n.model == ModelVOQMWM {
+			n.mwm = &mwmScratch{}
+		}
+	}
 	return n, nil
 }
+
+// Model returns the switch model the network simulates.
+func (n *Network) Model() SwitchModel { return n.model }
 
 // bufferCapacity is the per-VL input buffer size in bytes.
 func (n *Network) bufferCapacity() int {
@@ -594,7 +647,13 @@ func (n *Network) tryHost(h int) {
 }
 
 // kickSwitch schedules a scheduling pass at a switch output port.
+// Under the input-queued models the whole switch is one scheduling
+// point, so every per-port kick folds into one crossbar pass.
 func (n *Network) kickSwitch(s, p int) {
+	if n.model != ModelWRR {
+		n.kickVOQ(s)
+		return
+	}
 	out := &n.switches[s].out[p]
 	if !out.wired || out.pending {
 		return
@@ -607,6 +666,11 @@ func (n *Network) kickSwitch(s, p int) {
 // packets of one input port are routed to — the ports whose candidates
 // changed when that input's crossbar slot freed.
 func (n *Network) kickHeadsOfInput(s, i int) {
+	if n.model != ModelWRR {
+		// A freed input slot re-opens the whole request matrix.
+		n.kickVOQ(s)
+		return
+	}
 	in := &n.switches[s].in[i]
 	for vl := 0; vl < arbtable.NumVLs; vl++ {
 		q := &in.queues[vl]
@@ -786,6 +850,10 @@ func (n *Network) arrive(out *outPort, pkt *Packet) {
 		return
 	}
 	s := out.downSwitch
+	if n.model != ModelWRR {
+		n.voqEnqueue(s, out.downPort, pkt)
+		return
+	}
 	in := &n.switches[s].in[out.downPort]
 	in.queues[pkt.VL].push(pkt)
 	n.kickSwitch(s, n.Routes.NextPort(s, pkt.Dst))
@@ -860,6 +928,15 @@ func (n *Network) QueuedPackets() int64 {
 		for p := range s.in {
 			for vl := range s.in[p].queues {
 				q += int64(s.in[p].queues[vl].len())
+			}
+		}
+		if v := s.voq; v != nil {
+			for i := range v.q {
+				for j := range v.q[i] {
+					for vl := range v.q[i][j] {
+						q += int64(v.q[i][j][vl].len())
+					}
+				}
 			}
 		}
 	}
@@ -964,8 +1041,20 @@ func (n *Network) CheckBuffers() error {
 						s.id, p, vl, occ, capacity)
 				}
 				queued := 0
-				for k := 0; k < in.queues[vl].len(); k++ {
-					queued += in.queues[vl].at(k).Wire
+				if v := s.voq; v != nil {
+					// Input-queued model: port p's packets live in its
+					// VOQ row, still accounted against the same per-VL
+					// credit the upstream sender reserved.
+					for j := 0; j < topology.SwitchPorts; j++ {
+						vq := &v.q[p][j][vl]
+						for k := 0; k < vq.len(); k++ {
+							queued += vq.at(k).Wire
+						}
+					}
+				} else {
+					for k := 0; k < in.queues[vl].len(); k++ {
+						queued += in.queues[vl].at(k).Wire
+					}
 				}
 				if queued > occ {
 					return fmt.Errorf("fabric: switch %d port %d VL %d queued %d bytes > occupancy %d",

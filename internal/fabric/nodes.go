@@ -64,6 +64,11 @@ type swNode struct {
 	id  int
 	in  [topology.SwitchPorts]inPort
 	out [topology.SwitchPorts]outPort
+
+	// voq is the input-queued half of the switch (virtual output
+	// queues plus the crossbar scheduler state, see voq.go); nil under
+	// the default output-driven WRR model.
+	voq *voqState
 }
 
 // hostNode is one end node: its channel adapter has per-VL send queues

@@ -1,0 +1,556 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/arbtable"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file is the input-queued switch model: per-input virtual output
+// queues (one FIFO per output port × VL), a crossbar scheduled per
+// pass by an iSLIP arbiter with per-port round-robin grant/accept
+// pointers, and an exact maximum-weight-matching reference arbiter
+// that doubles as the correctness oracle in tests and is selectable at
+// runtime for small fabrics.  The output-port arbitration tables keep
+// their paper role unchanged: the matching decides WHICH input feeds
+// an output, the output's WRR table decides which VL of that pair's
+// VOQ group is served — so the fill-in algorithm's distance guarantee
+// can be audited under head-of-line dynamics (the -exp hol
+// experiment).
+//
+// Where this diverges from the xbar_router exemplar (SNIPPETS.md
+// Snippet 1): queues are per (input, output, VL) instead of per input,
+// scheduling is event-driven on packet boundaries instead of a fixed
+// Advance() clock, grants respect downstream per-VL credits, and the
+// iSLIP pointers update only on accepted first-iteration grants (the
+// published algorithm; the exemplar advances its single pointer
+// unconditionally).
+
+// SwitchModel selects the switch hardware the fabric simulates.  The
+// zero value is the classic model of the paper's evaluation.
+type SwitchModel int
+
+const (
+	// ModelWRR is the output-driven model of the paper's section 4.1:
+	// per-input-VL FIFOs, every output port scheduling independently
+	// over the head packets routed to it (the default).
+	ModelWRR SwitchModel = iota
+	// ModelVOQISLIP is the input-queued model: per-input VOQs and a
+	// crossbar matched per pass by iterative SLIP.
+	ModelVOQISLIP
+	// ModelVOQMWM is the input-queued model scheduled by the exact
+	// maximum-weight-matching oracle (weights = VOQ occupancy).  The
+	// solver is O(P·2^P) per pass, fine for the 8-port radix but meant
+	// for small fabrics and as the test oracle.
+	ModelVOQMWM
+)
+
+// DefaultISLIPIters is the request-grant-accept iteration count used
+// when Config.ISLIPIters is zero: log2 of the port count, the depth at
+// which iSLIP matchings stop growing in practice (McKeown).
+const DefaultISLIPIters = 3
+
+func (m SwitchModel) String() string {
+	switch m {
+	case ModelWRR:
+		return "wrr"
+	case ModelVOQISLIP:
+		return "voq-islip"
+	case ModelVOQMWM:
+		return "voq-mwm"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// ParseSwitchModel parses a switch model name as accepted by the
+// -switch-model flags.
+func ParseSwitchModel(s string) (SwitchModel, error) {
+	switch s {
+	case "wrr":
+		return ModelWRR, nil
+	case "voq-islip", "islip":
+		return ModelVOQISLIP, nil
+	case "voq-mwm", "mwm":
+		return ModelVOQMWM, nil
+	}
+	return ModelWRR, fmt.Errorf("fabric: unknown switch model %q (want wrr|voq-islip|voq-mwm)", s)
+}
+
+// ISLIPState is the round-robin pointer state of one iSLIP crossbar
+// scheduler: a grant pointer per output and an accept pointer per
+// input.  The zero value (all pointers at slot 0) is the reset state;
+// pointers desynchronize within the first few passes under load, which
+// is what gives iSLIP its throughput.
+type ISLIPState struct {
+	Grant  [topology.SwitchPorts]uint8 // per-output grant pointer
+	Accept [topology.SwitchPorts]uint8 // per-input accept pointer
+}
+
+// Match computes one crossbar matching by iters request-grant-accept
+// rounds over the request matrix req (bit j of req[i] set = input i
+// has an eligible packet for output j).  match[j] receives the input
+// matched to output j, -1 when the output stays idle; the matching
+// size is returned.
+//
+// The algorithm is the published iSLIP: each unmatched output grants
+// the first requesting unmatched input at or after its grant pointer;
+// each input holding grants accepts the first at or after its accept
+// pointer; pointers move one past the accepted partner only when the
+// accept happens in the FIRST iteration (the property that makes the
+// pointers desynchronize instead of chasing each other).  Matched
+// pairs are locked for the remaining iterations.  Out-of-range
+// pointer values (a desynchronized or fuzzed state) are reduced mod
+// the port count rather than trusted.
+func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint8, iters int, match *[topology.SwitchPorts]int8) int {
+	const P = topology.SwitchPorts
+	for j := range match {
+		match[j] = -1
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	var inMatched uint8
+	size := 0
+	for it := 0; it < iters && size < P; it++ {
+		// Grant phase.
+		var grants [P]uint8 // per input: outputs granting it this round
+		granted := false
+		for j := 0; j < P; j++ {
+			if match[j] >= 0 {
+				continue
+			}
+			g := int(st.Grant[j]) % P
+			for k := 0; k < P; k++ {
+				i := (g + k) % P
+				if inMatched&(1<<i) == 0 && req[i]&(1<<j) != 0 {
+					grants[i] |= 1 << j
+					granted = true
+					break
+				}
+			}
+		}
+		if !granted {
+			break // no addable edge remains; the matching is maximal
+		}
+		// Accept phase.  Every granted input is unmatched (the grant
+		// phase filtered), so each one accepts exactly one grant and
+		// the matching grows every iteration that granted.
+		for i := 0; i < P; i++ {
+			if grants[i] == 0 {
+				continue
+			}
+			a := int(st.Accept[i]) % P
+			for k := 0; k < P; k++ {
+				j := (a + k) % P
+				if grants[i]&(1<<j) == 0 {
+					continue
+				}
+				match[j] = int8(i)
+				inMatched |= 1 << i
+				size++
+				if it == 0 {
+					st.Grant[j] = uint8((i + 1) % P)
+					st.Accept[i] = uint8((j + 1) % P)
+				}
+				break
+			}
+		}
+	}
+	return size
+}
+
+// mwmScratch is the workspace of the exact maximum-weight-matching
+// solver: DP tables over output subsets plus the per-pass weight
+// matrix.  It lives on the Network so a scheduling pass allocates
+// nothing.
+type mwmScratch struct {
+	w   [topology.SwitchPorts][topology.SwitchPorts]int32
+	dp  [2][1 << topology.SwitchPorts]int64
+	par [topology.SwitchPorts][1 << topology.SwitchPorts]int8
+}
+
+// match computes an exact maximum-weight matching of w (w[i][j] > 0 is
+// an edge from input i to output j) by dynamic programming over output
+// subsets, O(P²·2^P).  match[j] receives the input assigned to output
+// j (-1 when unmatched); the matching size and total weight are
+// returned.  Fully deterministic: ties prefer leaving the input
+// unmatched, then the lowest output index, so the oracle's decisions
+// are reproducible from the weights alone.
+func (sc *mwmScratch) match(w *[topology.SwitchPorts][topology.SwitchPorts]int32, match *[topology.SwitchPorts]int8) (size int, weight int64) {
+	const P = topology.SwitchPorts
+	const full = 1 << P
+	cur, nxt := &sc.dp[0], &sc.dp[1]
+	for mask := 0; mask < full; mask++ {
+		cur[mask] = -1
+	}
+	cur[0] = 0
+	for i := 0; i < P; i++ {
+		for mask := 0; mask < full; mask++ {
+			nxt[mask] = cur[mask] // input i stays unmatched
+			sc.par[i][mask] = -1
+		}
+		for mask := 0; mask < full; mask++ {
+			base := cur[mask]
+			if base < 0 {
+				continue
+			}
+			for j := 0; j < P; j++ {
+				if mask&(1<<j) != 0 || w[i][j] <= 0 {
+					continue
+				}
+				if cand := base + int64(w[i][j]); cand > nxt[mask|1<<j] {
+					nxt[mask|1<<j] = cand
+					sc.par[i][mask|1<<j] = int8(j)
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	best := 0
+	for mask := 1; mask < full; mask++ {
+		if cur[mask] > cur[best] {
+			best = mask
+		}
+	}
+	weight = cur[best]
+	for j := range match {
+		match[j] = -1
+	}
+	// Walk the decisions back.  par indexes the table for input i at
+	// the state AFTER processing i, which alternates between the two
+	// dp rows; reconstruct from the mask trail alone.
+	mask := best
+	for i := P - 1; i >= 0; i-- {
+		j := sc.reconstruct(i, mask, w)
+		if j < 0 {
+			continue
+		}
+		match[j] = int8(i)
+		size++
+		mask &^= 1 << int(j)
+	}
+	return size, weight
+}
+
+// reconstruct recovers input i's decision at the given used-output
+// mask by re-running the forward DP up to i.  The straightforward
+// approach — storing par per input — is exactly what sc.par holds;
+// this helper only validates it (the stored choice must be consistent
+// with the mask trail).
+func (sc *mwmScratch) reconstruct(i, mask int, w *[topology.SwitchPorts][topology.SwitchPorts]int32) int8 {
+	j := sc.par[i][mask]
+	if j >= 0 && mask&(1<<int(j)) == 0 {
+		// The stored choice no longer fits the trail (can only happen
+		// on an unreachable state, which the walk never visits).
+		return -1
+	}
+	return j
+}
+
+// voqState is the input-queued half of one switch: the virtual output
+// queues (one FIFO per input × output × VL), a per-(input,output)
+// occupancy bitmap of non-empty VLs so scheduling passes skip empty
+// lanes without scanning, and the iSLIP pointer state.
+type voqState struct {
+	q        [topology.SwitchPorts][topology.SwitchPorts][arbtable.NumVLs]pktQueue
+	nonEmpty [topology.SwitchPorts][topology.SwitchPorts]uint16 // bit vl set = q[i][j][vl] non-empty
+	islip    ISLIPState
+	pending  bool // a scheduling-pass event is already queued
+
+	// match is the current pass's matching scratch (match[j] = input
+	// feeding output j).  A field rather than a voqSched local so the
+	// OnMatch hook call cannot force it onto the heap — the zero-alloc
+	// budget covers the hooks-nil fast path.
+	match [topology.SwitchPorts]int8
+}
+
+// voqPush enqueues pkt on the (input, output, vl) queue and maintains
+// the occupancy bitmap.
+func (v *voqState) voqPush(i, j, vl int, pkt *Packet) {
+	v.q[i][j][vl].push(pkt)
+	v.nonEmpty[i][j] |= 1 << vl
+}
+
+// voqPop dequeues the head of the (input, output, vl) queue.
+func (v *voqState) voqPop(i, j, vl int) *Packet {
+	q := &v.q[i][j][vl]
+	pkt := q.pop()
+	if q.len() == 0 {
+		v.nonEmpty[i][j] &^= 1 << vl
+	}
+	return pkt
+}
+
+// voqOccupancy counts the packets queued in the (input, output) VOQ
+// group across all VLs — the weight the MWM oracle maximizes.
+func (v *voqState) voqOccupancy(i, j int) int32 {
+	var n int32
+	bits := v.nonEmpty[i][j]
+	for vl := 0; bits != 0; vl++ {
+		if bits&1 != 0 {
+			n += int32(v.q[i][j][vl].len())
+		}
+		bits >>= 1
+	}
+	return n
+}
+
+// kickVOQ schedules a crossbar scheduling pass at an input-queued
+// switch (the whole switch is one scheduling point, unlike the WRR
+// model's independent output ports).
+func (n *Network) kickVOQ(s int) {
+	v := n.switches[s].voq
+	if v.pending {
+		return
+	}
+	v.pending = true
+	n.Engine.DeferEvent(n, sim.Event{Kind: evVOQSched, A: int32(s)})
+}
+
+// voqEnqueue lands an arriving packet in its virtual output queue: the
+// output port is resolved from the routing tables at enqueue time, so
+// a packet can never block a packet bound for a different output —
+// the HOL-blocking remedy VOQs exist for.
+func (n *Network) voqEnqueue(s, in int, pkt *Packet) {
+	j := n.Routes.NextPort(s, pkt.Dst)
+	n.switches[s].voq.voqPush(in, j, int(pkt.VL), pkt)
+	n.kickVOQ(s)
+}
+
+// voqEligible reports whether VOQ group (i, j) holds at least one head
+// packet with downstream credit on its outgoing lane.
+func (n *Network) voqEligible(node *swNode, down *inPort, i, j, capacity int) bool {
+	v := node.voq
+	bits := v.nonEmpty[i][j] &^ (1 << arbtable.MgmtVL)
+	if bits == 0 {
+		return false
+	}
+	if down == nil {
+		return true // host downstream: consumes at link rate
+	}
+	for vl := 0; bits != 0; vl++ {
+		if bits&1 != 0 {
+			pkt := v.q[i][j][vl].front()
+			outvl := vl
+			if n.planes > 1 {
+				outvl = int(n.Routes.HopVL(node.id, pkt.Dst, pkt.Base))
+			}
+			if down.occ[outvl]+pkt.Wire <= capacity {
+				return true
+			}
+		}
+		bits >>= 1
+	}
+	return false
+}
+
+// voqDown resolves the downstream input buffer of an output port (nil
+// when the port feeds a host).
+func (n *Network) voqDown(out *outPort) *inPort {
+	if out.downSwitch >= 0 {
+		return &n.switches[out.downSwitch].in[out.downPort]
+	}
+	return nil
+}
+
+// voqSched runs one crossbar scheduling pass at switch s: subnet
+// management preempts, then the request matrix is built from the VOQ
+// heads with credit, matched by iSLIP or the MWM oracle, and each
+// matched pair's lane is picked by the output port's arbitration
+// table.  Zero allocations: all scratch state is fixed-size on the
+// Network and the switch.
+func (n *Network) voqSched(s int) {
+	const P = topology.SwitchPorts
+	node := n.switches[s]
+	v := node.voq
+	now := n.Engine.Now()
+	capacity := n.bufferCapacity()
+
+	// Output availability: wired, link idle, outside fault windows.
+	var outFree uint8
+	for j := 0; j < P; j++ {
+		out := &node.out[j]
+		if !out.wired || out.busyUntil > now {
+			continue
+		}
+		if n.Faults != nil {
+			if until := n.Faults.BlockedUntil(faults.SwitchPortKey(s, j), now); until > now {
+				n.Engine.Post(until, n, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(j)})
+				continue
+			}
+		}
+		outFree |= 1 << j
+	}
+	var inFree uint8
+	for i := 0; i < P; i++ {
+		if node.in[i].busyUntil <= now {
+			inFree |= 1 << i
+		}
+	}
+	if outFree == 0 || inFree == 0 {
+		return
+	}
+
+	// Subnet management (VL 15) preempts all data lanes: each free
+	// output serves its first eligible VL 15 head in round-robin input
+	// order, consuming the input and output crossbar slots it uses.
+	for j := 0; j < P; j++ {
+		if outFree&(1<<j) == 0 {
+			continue
+		}
+		out := &node.out[j]
+		down := n.voqDown(out)
+		for k := 0; k < P; k++ {
+			i := (out.rr[arbtable.MgmtVL] + k) % P
+			if inFree&(1<<i) == 0 || v.nonEmpty[i][j]&(1<<arbtable.MgmtVL) == 0 {
+				continue
+			}
+			pkt := v.q[i][j][arbtable.MgmtVL].front()
+			if down != nil && down.occ[arbtable.MgmtVL]+pkt.Wire > capacity {
+				continue
+			}
+			v.voqPop(i, j, arbtable.MgmtVL)
+			out.rr[arbtable.MgmtVL] = (i + 1) % P
+			inFree &^= 1 << i
+			outFree &^= 1 << j
+			n.voqTransmit(node, out, pkt, i, arbtable.MgmtVL, now)
+			break
+		}
+	}
+
+	// Request matrix over the data VLs.
+	var req [P]uint8
+	backlogged := 0
+	for i := 0; i < P; i++ {
+		if inFree&(1<<i) == 0 {
+			continue
+		}
+		for j := 0; j < P; j++ {
+			if outFree&(1<<j) == 0 || v.nonEmpty[i][j]&^(1<<arbtable.MgmtVL) == 0 {
+				continue
+			}
+			if n.voqEligible(node, n.voqDown(&node.out[j]), i, j, capacity) {
+				req[i] |= 1 << j
+			}
+		}
+		if req[i] != 0 {
+			backlogged++
+		}
+	}
+	if backlogged == 0 {
+		return
+	}
+
+	match := &v.match
+	var size int
+	if n.model == ModelVOQMWM {
+		for i := 0; i < P; i++ {
+			for j := 0; j < P; j++ {
+				if req[i]&(1<<j) != 0 {
+					n.mwm.w[i][j] = v.voqOccupancy(i, j)
+				} else {
+					n.mwm.w[i][j] = 0
+				}
+			}
+		}
+		size, _ = n.mwm.match(&n.mwm.w, match)
+	} else {
+		size = v.islip.Match(&req, n.islipIters, match)
+	}
+	if m := n.Metrics; m != nil {
+		m.CountVOQPass(size, backlogged)
+	}
+	if n.OnMatch != nil {
+		n.OnMatch(s, match, size)
+	}
+
+	for j := 0; j < P; j++ {
+		if match[j] >= 0 {
+			n.voqServe(node, int(match[j]), j, capacity, now)
+		}
+	}
+}
+
+// voqServe transfers one packet of the matched pair (input i → output
+// j): the output port's arbitration table picks the lane among the
+// pair's eligible VOQ heads, preserving the table-driven QoS of the
+// paper across the crossbar.
+func (n *Network) voqServe(node *swNode, i, j, capacity int, now int64) {
+	v := node.voq
+	out := &node.out[j]
+	down := n.voqDown(out)
+
+	// Candidates indexed by outgoing wire VL, exactly like the WRR
+	// model's trySwitch: multi-plane engines may shift a packet into
+	// its escape plane here.
+	var ready arbtable.Ready
+	var srcVL [arbtable.NumDataVLs]uint8
+	bits := v.nonEmpty[i][j] &^ (1 << arbtable.MgmtVL)
+	for vl := 0; bits != 0; vl++ {
+		if bits&1 == 0 {
+			bits >>= 1
+			continue
+		}
+		bits >>= 1
+		pkt := v.q[i][j][vl].front()
+		outvl := vl
+		if n.planes > 1 {
+			outvl = int(n.Routes.HopVL(node.id, pkt.Dst, pkt.Base))
+			if ready[outvl] != 0 {
+				continue // lane claimed by an earlier input VL
+			}
+		}
+		if down != nil && down.occ[outvl]+pkt.Wire > capacity {
+			continue
+		}
+		ready[outvl] = pkt.Wire
+		srcVL[outvl] = uint8(vl)
+	}
+	vl, _, ok := out.arb.Pick(&ready)
+	if !ok {
+		return // defensive: the request phase guaranteed a candidate
+	}
+	if out.pt.Programming() {
+		out.pt.NoteStalePick()
+	}
+	invl := int(srcVL[vl])
+	pkt := v.voqPop(i, j, invl)
+	pkt.VL = uint8(vl)
+	if m := n.Metrics; m != nil {
+		m.AddVLBytes(vl, pkt.Wire)
+		m.ObserveVOQDepth(int64(v.q[i][j][invl].len()))
+	}
+	if t := n.Engine.Trace; t != nil {
+		lp := out.arb.Last()
+		t.Record(metrics.TraceEvent{
+			Time: now, Port: SwitchTraceID(node.id, j), VL: uint8(vl),
+			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
+		})
+	}
+	if n.OnVOQDequeue != nil {
+		n.OnVOQDequeue(node.id, i, j, invl)
+	}
+	if n.OnForward != nil {
+		n.OnForward(pkt, node.id, j)
+	}
+	n.voqTransmit(node, out, pkt, i, invl, now)
+}
+
+// voqTransmit occupies input i's crossbar slot for the transfer and
+// hands the packet to the shared transmit path (which reserves
+// downstream credit on pkt.VL and returns the source credit on srcVL
+// at completion, exactly as the WRR model does).
+func (n *Network) voqTransmit(node *swNode, out *outPort, pkt *Packet, i, srcVL int, now int64) {
+	in := &node.in[i]
+	xfer := int64(pkt.Wire) / int64(n.Cfg.CrossbarSpeedup)
+	if xfer < 1 {
+		xfer = 1
+	}
+	in.busyUntil = now + xfer
+	n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(node.id), B: int32(i)})
+	n.transmit(out, pkt, switchCode(node.id, i), uint8(srcVL))
+}

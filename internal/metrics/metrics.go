@@ -80,6 +80,31 @@ func (c *ControlCounters) Add(o ControlCounters) {
 	c.QuarantinedHops += o.QuarantinedHops
 }
 
+// VOQCounters meters the input-queued switch models (VOQ crossbars
+// scheduled by iSLIP or the maximum-weight-matching oracle).  A pass
+// is one crossbar scheduling round at one switch that saw at least one
+// backlogged input; Matched sums the matching sizes over all passes;
+// HOLStalls counts inputs that held at least one packet eligible for a
+// free output yet ended the pass unmatched — the head-of-line blocking
+// signal the -exp hol experiment audits.
+type VOQCounters struct {
+	SchedPasses int64 `json:"schedPasses"`
+	Matched     int64 `json:"matched"`
+	HOLStalls   int64 `json:"holStalls"`
+}
+
+// Zero reports whether no VOQ scheduling activity was counted.
+func (c *VOQCounters) Zero() bool {
+	return c == nil || *c == VOQCounters{}
+}
+
+// Add accumulates o into c.
+func (c *VOQCounters) Add(o VOQCounters) {
+	c.SchedPasses += o.SchedPasses
+	c.Matched += o.Matched
+	c.HOLStalls += o.HOLStalls
+}
+
 // EngineCounters meters the typed-event core of one simulation engine:
 // how much work went through the heap, how deep it got, and how well
 // the event-record pool recycled.  The engine maintains them itself
@@ -173,6 +198,15 @@ type Metrics struct {
 	// pick (packets waiting behind the one scheduled).
 	QueueDepth Hist
 
+	// VOQ meters the input-queued switch models; output-queued WRR
+	// fabrics leave it zero and it stays out of snapshots.  MatchSize
+	// observes the matching cardinality of every scheduling pass and
+	// VOQDepth the residual depth of a virtual output queue at every
+	// dequeue.
+	VOQ       VOQCounters
+	MatchSize Hist
+	VOQDepth  Hist
+
 	// DeadlineMisses counts measured QoS packets delivered after their
 	// end-to-end deadline.  Deliveries counts all measured deliveries,
 	// giving the miss rate a denominator.
@@ -198,6 +232,29 @@ func (m *Metrics) ObserveQueueDepth(depth int64) {
 		return
 	}
 	m.QueueDepth.Observe(depth)
+}
+
+// CountVOQPass records one crossbar scheduling pass of an input-queued
+// switch: the matching size and the number of backlogged inputs that
+// competed for it (backlogged - size inputs stalled on head-of-line
+// contention).
+func (m *Metrics) CountVOQPass(size, backlogged int) {
+	if m == nil {
+		return
+	}
+	m.VOQ.SchedPasses++
+	m.VOQ.Matched += int64(size)
+	m.VOQ.HOLStalls += int64(backlogged - size)
+	m.MatchSize.Observe(int64(size))
+}
+
+// ObserveVOQDepth records the residual depth of a virtual output queue
+// right after a matched dequeue.
+func (m *Metrics) ObserveVOQDepth(depth int64) {
+	if m == nil {
+		return
+	}
+	m.VOQDepth.Observe(depth)
 }
 
 // CountDelivery records a measured delivery and whether it missed its
@@ -246,6 +303,22 @@ type Snapshot struct {
 	// Control is present only when control-plane fault handling did
 	// any work, so fault-free snapshots keep their exact JSON shape.
 	Control *ControlCounters `json:"control,omitempty"`
+
+	// VOQ is present only when an input-queued switch model ran, so
+	// classic WRR snapshots keep their exact JSON shape.
+	VOQ *VOQSnapshot `json:"voq,omitempty"`
+}
+
+// VOQSnapshot is the exported form of the input-queued switch
+// counters: the per-pass matching statistics plus the HOL-blocking and
+// queue-depth signals the hol experiment reads.
+type VOQSnapshot struct {
+	SchedPasses   int64        `json:"schedPasses"`
+	Matched       int64        `json:"matched"`
+	MeanMatchSize float64      `json:"meanMatchSize"`
+	HOLStalls     int64        `json:"holStalls"`
+	MatchSize     HistSnapshot `json:"matchSize"`
+	VOQDepth      HistSnapshot `json:"voqDepth"`
 }
 
 // Snapshot exports the counters.  Safe on nil (returns the zero
@@ -276,6 +349,29 @@ func (m *Metrics) Snapshot() Snapshot {
 	if !m.Control.Zero() {
 		ctl := m.Control
 		s.Control = &ctl
+	}
+	if !m.VOQ.Zero() {
+		v := &VOQSnapshot{
+			SchedPasses: m.VOQ.SchedPasses,
+			Matched:     m.VOQ.Matched,
+			HOLStalls:   m.VOQ.HOLStalls,
+			MatchSize: HistSnapshot{
+				Counts: trimTail(m.MatchSize.Counts[:]),
+				N:      m.MatchSize.N,
+				Mean:   m.MatchSize.Mean(),
+				Max:    m.MatchSize.Max,
+			},
+			VOQDepth: HistSnapshot{
+				Counts: trimTail(m.VOQDepth.Counts[:]),
+				N:      m.VOQDepth.N,
+				Mean:   m.VOQDepth.Mean(),
+				Max:    m.VOQDepth.Max,
+			},
+		}
+		if v.SchedPasses > 0 {
+			v.MeanMatchSize = float64(v.Matched) / float64(v.SchedPasses)
+		}
+		s.VOQ = v
 	}
 	for vl, c := range m.VL {
 		if c.Packets == 0 {

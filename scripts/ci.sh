@@ -69,6 +69,7 @@ if [[ "$RUN_FUZZ" -eq 1 ]]; then
 ./internal/mad FuzzHighTableDecode
 ./internal/faults FuzzFaultSchedule
 ./internal/topology FuzzTopologyGenerate
+./internal/fabric FuzzISLIPSchedule
 EOF
 fi
 
@@ -77,5 +78,8 @@ go run ./cmd/ibsim -exp faults -scale tiny >/dev/null
 
 echo "==> ibsim -exp scale -scale tiny (smoke)"
 go run ./cmd/ibsim -exp scale -scale tiny >/dev/null
+
+echo "==> ibsim -exp hol -scale tiny (smoke)"
+go run ./cmd/ibsim -exp hol -scale tiny >/dev/null
 
 echo "==> ci.sh: all green"
