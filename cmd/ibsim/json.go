@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -168,6 +169,33 @@ func emitHOLJSON(w io.Writer, base experiments.HOLParams, res []experiments.HOLR
 		Payload:    base.Payload,
 		ISLIPIters: base.ISLIPIters,
 		Runs:       res,
+	})
+}
+
+// shardBenchReport is the machine-readable form of the sharded-core
+// throughput benchmark (scripts/bench.sh assembles BENCH_PR7.json from
+// it).
+type shardBenchReport struct {
+	Topology  string  `json:"topology"`
+	Load      float64 `json:"load"`
+	Seed      int64   `json:"seed"`
+	Payload   int     `json:"payload"`
+	HorizonBT int64   `json:"horizonBT"`
+	// CPUs bounds the achievable speedup at min(shards, CPUs): rows
+	// measured on a single-core host show sync overhead, not speedup.
+	CPUs int                            `json:"cpus"`
+	Runs []experiments.ShardBenchResult `json:"runs"`
+}
+
+func emitShardBenchJSON(w io.Writer, base experiments.ShardBenchParams, res []experiments.ShardBenchResult) error {
+	return encodeIndented(w, shardBenchReport{
+		Topology:  base.Spec.Label(),
+		Load:      base.Load,
+		Seed:      base.Seed,
+		Payload:   base.Payload,
+		HorizonBT: base.HorizonBT,
+		CPUs:      runtime.NumCPU(),
+		Runs:      res,
 	})
 }
 

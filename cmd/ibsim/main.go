@@ -31,12 +31,13 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/topology"
 	"repro/internal/viz"
 )
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|scale|hol|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|scale|hol|shardbench|all")
 		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
 		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
 		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
@@ -49,6 +50,11 @@ func main() {
 		traceEvents = flag.Int("trace", 0, "record the last N arbitration decisions per run (implies -metrics)")
 		churnSeeds  = flag.Int("churn-seeds", 4, "independent seeds for -exp churn")
 		islipIters  = flag.Int("islip-iters", 0, "iSLIP iteration depth for -exp hol (0 = default)")
+		shards      = flag.Int("shards", 0, "partition each fabric into N shards simulated in conservative-lookahead windows (0/1 = classic single engine)")
+		shardDet    = flag.Bool("shard-det", false, "keep all shards on one engine: bit-identical output at any -shards count, no parallel speedup")
+		benchK      = flag.Int("bench-k", 8, "fat-tree arity for -exp shardbench")
+		benchShards = flag.String("bench-shards", "1,2,4,8", "shard counts for -exp shardbench")
+		benchBT     = flag.Int64("bench-horizon", 0, "simulated horizon for -exp shardbench, byte times (0 = preset)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -93,6 +99,8 @@ func main() {
 	}
 	p.Metrics = *withMetrics || *traceEvents > 0
 	p.TraceEvents = *traceEvents
+	p.Shards = *shards
+	p.ShardDet = *shardDet
 
 	start := time.Now()
 	if *asJSON {
@@ -141,6 +149,7 @@ func main() {
 		if *switches != 0 {
 			base.Switches = *switches
 		}
+		base.Shards = *shards
 		res, err := experiments.ChurnSweep(base, *churnSeeds, *parallel)
 		if err != nil {
 			fatal(err)
@@ -158,6 +167,7 @@ func main() {
 		if *switches != 0 {
 			base.Churn.Switches = *switches
 		}
+		base.Churn.Shards = *shards
 		res, err := experiments.FaultsSweep(base, *parallel)
 		if err != nil {
 			fatal(err)
@@ -172,6 +182,8 @@ func main() {
 		if *seed != 0 {
 			base.Seed = *seed
 		}
+		base.Shards = *shards
+		base.ShardDet = *shardDet
 		res, err := experiments.ScaleSweep(base, *parallel)
 		if err != nil {
 			fatal(err)
@@ -187,6 +199,8 @@ func main() {
 			base.Seed = *seed
 		}
 		base.ISLIPIters = *islipIters
+		base.Shards = *shards
+		base.ShardDet = *shardDet
 		res, err := experiments.HOLSweep(base, *parallel)
 		if err != nil {
 			fatal(err)
@@ -194,6 +208,29 @@ func main() {
 		experiments.PrintHOL(os.Stdout, res)
 		fmt.Println()
 		if err := emitHOLJSON(os.Stdout, base, res); err != nil {
+			fatal(err)
+		}
+	case "shardbench":
+		bp := experiments.ShardBenchDefault()
+		if *seed != 0 {
+			bp.Seed = *seed
+		}
+		bp.Spec = topology.Spec{Class: topology.FatTree, K: *benchK}
+		if counts, err := parseSizes(*benchShards); err != nil {
+			fatal(err)
+		} else {
+			bp.Shards = counts
+		}
+		if *benchBT > 0 {
+			bp.HorizonBT = *benchBT
+		}
+		res, err := experiments.ShardBench(bp)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintShardBench(os.Stdout, bp, res)
+		fmt.Println()
+		if err := emitShardBenchJSON(os.Stdout, bp, res); err != nil {
 			fatal(err)
 		}
 	case "scaling":

@@ -70,10 +70,10 @@ func prioritySplitScenario(seed int64, oldScheme bool) (float64, error) {
 
 	net.Start()
 	warmup := 4 * victim.IAT
-	net.Engine.Run(warmup)
+	net.Run(warmup)
 	net.StartMeasurement()
 	window := 80 * victim.IAT
-	net.Engine.Run(warmup + window)
+	net.Run(warmup + window)
 
 	expected := float64(window) / float64(victim.IAT)
 	return float64(victim.Delivered.Packets) / expected, nil

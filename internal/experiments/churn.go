@@ -37,6 +37,13 @@ type ChurnParams struct {
 	SampleBT   int64 // VL bandwidth sampling window, byte times
 
 	Retry admission.RetryPolicy
+
+	// Shards partitions the fabric (fabric.Config.Shards).  Churn
+	// mutates the control plane mid-run through closures on the shared
+	// engine, so sharded churn always forces the deterministic
+	// single-engine mode — shard counts change nothing here but are
+	// accepted so the determinism regression can sweep them.
+	Shards int
 }
 
 // ChurnTiny is the unit-test scale: a 2-switch fabric with enough
@@ -139,6 +146,8 @@ func Churn(p ChurnParams) (ChurnResult, error) {
 	}
 
 	cfg := fabric.DefaultConfig(p.Switches, p.Payload, p.Seed)
+	cfg.Shards = p.Shards
+	cfg.ShardDeterministic = true // mid-run table programs need one engine
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return res, err

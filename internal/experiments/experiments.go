@@ -43,6 +43,14 @@ type Params struct {
 	// TraceEvents, when positive, attaches a ring buffer recording the
 	// last TraceEvents arbitration decisions of each run.
 	TraceEvents int
+
+	// Shards splits each run's fabric into that many topology-local
+	// partitions simulated in conservative-lookahead windows
+	// (fabric.Config.Shards); 0 and 1 keep the classic single-engine
+	// core.  ShardDet pins all shards to one engine so results stay
+	// bit-identical across shard counts (fabric.Config.ShardDeterministic).
+	Shards   int
+	ShardDet bool
 }
 
 // Full returns the paper-scale parameters: 16 switches and 64 hosts,
@@ -108,6 +116,8 @@ func Setup(p Params, payload int) (*Run, error) {
 // (used by the VL-collapse ablation and custom scenarios).
 func SetupWith(p Params, payload int, mutate func(*fabric.Config)) (*Run, error) {
 	cfg := fabric.DefaultConfig(p.Switches, payload, p.Seed)
+	cfg.Shards = p.Shards
+	cfg.ShardDeterministic = p.ShardDet
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -154,16 +164,16 @@ func (r *Run) slowestFlow() *fabric.Flow {
 // cannot hang the harness).
 func (r *Run) Execute() {
 	slowest := r.slowestFlow()
-	r.Net.Start()
+	net := r.Net
+	net.Start()
 	warmup := r.P.WarmupIATs * slowest.IAT
-	r.Net.Engine.Run(warmup)
-	r.Net.StartMeasurement()
+	net.Run(warmup)
+	net.StartMeasurement()
 
 	target := int64(r.P.MinPacketsSlowest)
 	timeCap := warmup + (target+8)*slowest.IAT*2
-	engine := r.Net.Engine
-	engine.RunWhile(func() bool {
-		return slowest.Delivered.Packets < target && engine.Now() < timeCap
+	net.RunWhile(func() bool {
+		return slowest.Delivered.Packets < target && net.Now() < timeCap
 	})
 }
 

@@ -162,6 +162,8 @@ func Faults(p FaultParams) (FaultsResult, error) {
 	}
 
 	cfg := fabric.DefaultConfig(c.Switches, c.Payload, c.Seed)
+	cfg.Shards = c.Shards
+	cfg.ShardDeterministic = true // mid-run table programs need one engine
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return res, err

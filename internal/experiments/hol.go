@@ -41,6 +41,11 @@ type HOLParams struct {
 	MaxConsecutiveRejects int
 	MinPacketsSlowest     int
 	WarmupIATs            int64
+
+	// Shards and ShardDet select the sharded simulation core for every
+	// point, exactly as Params.Shards / Params.ShardDet do.
+	Shards   int
+	ShardDet bool
 }
 
 // HOLTiny is the unit-test and golden-file scale: the smallest member
@@ -123,6 +128,8 @@ func HOLPoint(p HOLParams, spec topology.Spec, model fabric.SwitchModel, load fl
 	cfg := fabric.DefaultConfig(topo.NumSwitches, p.Payload, seed)
 	cfg.SwitchModel = model
 	cfg.ISLIPIters = p.ISLIPIters
+	cfg.Shards = p.Shards
+	cfg.ShardDeterministic = p.ShardDet
 	net, err := fabric.NewWithTopology(cfg, topo)
 	if err != nil {
 		return res, err
@@ -174,13 +181,12 @@ func HOLPoint(p HOLParams, spec topology.Spec, model fabric.SwitchModel, load fl
 	}
 	net.Start()
 	warmup := p.WarmupIATs * slowest.IAT
-	net.Engine.Run(warmup)
+	net.Run(warmup)
 	net.StartMeasurement()
 	target := int64(p.MinPacketsSlowest)
 	timeCap := warmup + (target+8)*slowest.IAT*2
-	engine := net.Engine
-	engine.RunWhile(func() bool {
-		return slowest.Delivered.Packets < target && engine.Now() < timeCap
+	net.RunWhile(func() bool {
+		return slowest.Delivered.Packets < target && net.Now() < timeCap
 	})
 
 	if err := net.CheckBuffers(); err != nil {
@@ -200,7 +206,7 @@ func HOLPoint(p HOLParams, spec topology.Spec, model fabric.SwitchModel, load fl
 		res.WorstDelayRatio = delay.MaxRatio()
 		res.DeadlineMetPct = delay.PercentMeetingDeadline()
 	}
-	res.EndTimeBT = engine.Now()
+	res.EndTimeBT = net.Now()
 	res.VOQ = m.Snapshot().VOQ
 	return res, nil
 }

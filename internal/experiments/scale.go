@@ -32,6 +32,11 @@ type ScaleParams struct {
 	MaxConsecutiveRejects int
 	MinPacketsSlowest     int
 	WarmupIATs            int64
+
+	// Shards and ShardDet select the sharded simulation core for every
+	// point, exactly as Params.Shards / Params.ShardDet do.
+	Shards   int
+	ShardDet bool
 }
 
 // ScaleTiny is the unit-test and golden-file scale: the smallest
@@ -108,6 +113,8 @@ func ScalePoint(p ScaleParams, spec topology.Spec, load float64, seed int64) (Sc
 		return res, err
 	}
 	cfg := fabric.DefaultConfig(topo.NumSwitches, p.Payload, seed)
+	cfg.Shards = p.Shards
+	cfg.ShardDeterministic = p.ShardDet
 	net, err := fabric.NewWithTopology(cfg, topo)
 	if err != nil {
 		return res, err
@@ -170,13 +177,12 @@ func ScalePoint(p ScaleParams, spec topology.Spec, load float64, seed int64) (Sc
 	}
 	net.Start()
 	warmup := p.WarmupIATs * slowest.IAT
-	net.Engine.Run(warmup)
+	net.Run(warmup)
 	net.StartMeasurement()
 	target := int64(p.MinPacketsSlowest)
 	timeCap := warmup + (target+8)*slowest.IAT*2
-	engine := net.Engine
-	engine.RunWhile(func() bool {
-		return slowest.Delivered.Packets < target && engine.Now() < timeCap
+	net.RunWhile(func() bool {
+		return slowest.Delivered.Packets < target && net.Now() < timeCap
 	})
 
 	if err := net.CheckBuffers(); err != nil {
@@ -197,7 +203,7 @@ func ScalePoint(p ScaleParams, spec topology.Spec, load float64, seed int64) (Sc
 		res.MeanDelayRatio = delay.MeanRatio()
 		res.DeadlineMetPct = delay.PercentMeetingDeadline()
 	}
-	res.EndTimeBT = engine.Now()
+	res.EndTimeBT = net.Now()
 	return res, nil
 }
 

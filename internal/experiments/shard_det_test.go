@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/topology"
+)
+
+// shardCounts is the grid the determinism regression sweeps: the
+// deterministic shard mode pins every shard to one engine, so all of
+// these must produce bit-identical results.
+var shardCounts = []int{1, 2, 4, 8}
+
+// tinyDigest flattens a paper-evaluation run into comparable form.
+type tinyDigest struct {
+	Connections int
+	Injected    int64
+	Delivered   int64
+	Dropped     int64
+	PerNode     float64
+	HostUtil    float64
+}
+
+// TestShardDetTinyIdentical: the paper evaluation at tiny scale must
+// report bit-identical statistics at every shard count in det mode.
+func TestShardDetTinyIdentical(t *testing.T) {
+	var want tinyDigest
+	for _, shards := range shardCounts {
+		p := Tiny()
+		p.Shards = shards
+		p.ShardDet = true
+		run, err := setupAndExecute(p, SmallPayload, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		inj, del, drop := run.Net.Totals()
+		got := tinyDigest{
+			Connections: len(run.Flows),
+			Injected:    inj,
+			Delivered:   del,
+			Dropped:     drop,
+			PerNode:     run.Net.DeliveredBytesPerCyclePerNode(),
+			HostUtil:    run.Net.MeanHostUtilization(),
+		}
+		if shards == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardDetScalePointIdentical: one structured scale point, swept
+// across shard counts in det mode, must produce identical rows.
+func TestShardDetScalePointIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	spec := topology.Spec{Class: topology.FatTree, K: 4}
+	var want ScaleResult
+	for _, shards := range shardCounts {
+		p := ScaleTiny()
+		p.Shards = shards
+		p.ShardDet = true
+		got, err := ScalePoint(p, spec, 2, 11)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if shards == 1 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardDetHOLPointIdentical: the input-queued switch model under
+// det-mode sharding — VOQ scheduling state is engine-order sensitive,
+// so this catches any shard-count leak into the iSLIP pointers.
+func TestShardDetHOLPointIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	spec := topology.Spec{Class: topology.FatTree, K: 4}
+	var want HOLResult
+	for _, shards := range shardCounts {
+		p := HOLTiny()
+		p.Shards = shards
+		p.ShardDet = true
+		got, err := HOLPoint(p, spec, fabric.ModelVOQISLIP, 2, 11)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if shards == 1 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardDetChurnFaultsIdentical: churn and fault runs force det
+// mode regardless of the shard count (mid-run table programs need one
+// engine); the results must not depend on the partition at all.
+func TestShardDetChurnFaultsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	var wantChurn ChurnResult
+	var wantFaults FaultsResult
+	for _, shards := range shardCounts {
+		cp := ChurnTiny()
+		cp.Shards = shards
+		churn, err := Churn(cp)
+		if err != nil {
+			t.Fatalf("churn shards=%d: %v", shards, err)
+		}
+		fp := FaultsTiny()
+		fp.Churn.Shards = shards
+		faults, err := Faults(fp)
+		if err != nil {
+			t.Fatalf("faults shards=%d: %v", shards, err)
+		}
+		if shards == 1 {
+			wantChurn, wantFaults = churn, faults
+			continue
+		}
+		if !reflect.DeepEqual(churn, wantChurn) {
+			t.Errorf("churn shards=%d diverged:\n got %+v\nwant %+v", shards, churn, wantChurn)
+		}
+		if !reflect.DeepEqual(faults, wantFaults) {
+			t.Errorf("faults shards=%d diverged:\n got %+v\nwant %+v", shards, faults, wantFaults)
+		}
+	}
+}

@@ -94,9 +94,9 @@ func vbrScenario(seed int64, peakFactor, burst, switches int, windowIATs int64, 
 		}
 	}
 	net.Start()
-	net.Engine.Run(3 * slowest.IAT)
+	net.Run(3 * slowest.IAT)
 	net.StartMeasurement()
-	net.Engine.Run(net.Engine.Now() + windowIATs*slowest.IAT)
+	net.Run(net.Now() + windowIATs*slowest.IAT)
 
 	all := stats.NewDelayCDF()
 	for _, f := range flows {

@@ -64,85 +64,107 @@ func (n *Network) outPortByCode(code int32) *outPort {
 }
 
 // HandleEvent dispatches the fabric's typed events.  It implements
-// sim.Handler; the engine calls it once per executed data-plane event.
-func (n *Network) HandleEvent(ev sim.Event) {
+// sim.Handler; each shard's engine calls its own shard's dispatch, so
+// every hot-path handler below runs confined to one shard's state.
+func (sh *shard) HandleEvent(ev sim.Event) {
+	n := sh.n
 	switch ev.Kind {
 	case evGenerate:
-		n.generate(ev.P.(*Flow))
+		sh.generate(ev.P.(*Flow))
 	case evTryHost:
 		n.hosts[ev.A].out.pending = false
-		n.tryHost(int(ev.A))
+		sh.tryHost(int(ev.A))
 	case evTrySwitch:
 		n.switches[ev.A].out[ev.B].pending = false
-		n.trySwitch(int(ev.A), int(ev.B))
+		sh.trySwitch(int(ev.A), int(ev.B))
 	case evKickHost:
-		n.kickHost(int(ev.A))
+		sh.kickHost(int(ev.A))
 	case evKickSwitch:
-		n.kickSwitch(int(ev.A), int(ev.B))
+		sh.kickSwitch(int(ev.A), int(ev.B))
 	case evInputFree:
-		n.kickHeadsOfInput(int(ev.A), int(ev.B))
+		sh.kickHeadsOfInput(int(ev.A), int(ev.B))
 	case evXmitDone:
-		n.xmitDone(ev.A, ev.B, int(ev.N>>32), int(int32(ev.N)))
+		sh.xmitDone(ev.A, ev.B, int(ev.N>>32), int(int32(ev.N)))
 	case evVOQSched:
 		n.switches[ev.A].voq.pending = false
-		n.voqSched(int(ev.A))
+		sh.voqSched(int(ev.A))
 	case evArrive:
 		pkt := ev.P.(*Packet)
 		if pkt.gen != uint32(ev.B) {
 			// The packet was recycled while this event was in flight;
 			// reviving it would corrupt two flows at once.
-			n.staleArrivals++
+			sh.staleArrivals++
 			return
 		}
-		n.arrive(n.outPortByCode(ev.A), pkt)
+		sh.arrive(n.outPortByCode(ev.A), pkt)
 	}
 }
 
 // xmitDone completes a transmission: the packet has fully left its
 // source buffer, so the credit returns to whoever feeds that buffer,
-// and the transmitting port runs its next scheduling pass.
-func (n *Network) xmitDone(outCode, srcCode int32, vl, wire int) {
+// and the transmitting port runs its next scheduling pass.  A credit
+// owed across a shard boundary is batched for the barrier flush
+// instead of kicking the remote port directly.
+func (sh *shard) xmitDone(outCode, srcCode int32, vl, wire int) {
+	n := sh.n
 	if srcCode >= 0 {
 		src := &n.switches[srcCode/topology.SwitchPorts].in[srcCode%topology.SwitchPorts]
 		src.occ[vl] -= wire
 		switch {
 		case src.upSwitch >= 0:
-			n.kickSwitch(src.upSwitch, src.upPort)
+			if src.upBoundary {
+				sh.credits = append(sh.credits, creditReturn{
+					code: switchCode(src.upSwitch, src.upPort), vl: uint8(vl), wire: int32(wire),
+				})
+			} else {
+				sh.kickSwitch(src.upSwitch, src.upPort)
+			}
 		case src.upHost >= 0:
-			n.kickHost(src.upHost)
+			sh.kickHost(src.upHost)
 		}
 	}
 	if outCode < 0 {
-		n.kickHost(int(-outCode) - 1)
+		sh.kickHost(int(-outCode) - 1)
 	} else {
-		n.kickSwitch(int(outCode)/topology.SwitchPorts, int(outCode)%topology.SwitchPorts)
+		sh.kickSwitch(int(outCode)/topology.SwitchPorts, int(outCode)%topology.SwitchPorts)
 	}
 }
 
 // StaleArrivals returns the number of arrival events dropped because
 // their packet had been recycled — the generation counters' audit
 // trail.  On a correct schedule it stays zero.
-func (n *Network) StaleArrivals() int64 { return n.staleArrivals }
+func (n *Network) StaleArrivals() int64 {
+	var total int64
+	for _, sh := range n.shards {
+		total += sh.staleArrivals
+	}
+	return total
+}
 
 // DisablePools turns off packet and event-record recycling for this
-// network and its engine.  Pooled and pool-disabled runs are
+// network and its engines.  Pooled and pool-disabled runs are
 // bit-identical; the determinism property tests compare the two.
 // Call before Start.
 func (n *Network) DisablePools() {
 	n.poolDisabled = true
-	n.Engine.PoolDisabled = true
+	for _, sh := range n.shards {
+		sh.eng.PoolDisabled = true
+	}
 }
 
-// newPacket takes a packet from the free-list (or allocates one) and
-// stamps it with the given identity.  The generation survives from the
-// record's previous life — stale events still in flight carry the old
-// generation and are dropped on arrival.
-func (n *Network) newPacket(f *Flow, vl uint8, dst, wire int, injected, tag int64) *Packet {
+// newPacket takes a packet from the shard's free-list (or allocates
+// one) and stamps it with the given identity.  The generation survives
+// from the record's previous life — stale events still in flight carry
+// the old generation and are dropped on arrival.  A packet is created
+// by the source shard and retired by the destination's, so records
+// migrate between free-lists along the traffic matrix; each list only
+// ever mutates under its own shard's events.
+func (sh *shard) newPacket(f *Flow, vl uint8, dst, wire int, injected, tag int64) *Packet {
 	var pkt *Packet
-	if k := len(n.pktFree); k > 0 && !n.poolDisabled {
-		pkt = n.pktFree[k-1]
-		n.pktFree[k-1] = nil
-		n.pktFree = n.pktFree[:k-1]
+	if k := len(sh.pktFree); k > 0 && !sh.n.poolDisabled {
+		pkt = sh.pktFree[k-1]
+		sh.pktFree[k-1] = nil
+		sh.pktFree = sh.pktFree[:k-1]
 	} else {
 		pkt = &Packet{}
 	}
@@ -152,16 +174,16 @@ func (n *Network) newPacket(f *Flow, vl uint8, dst, wire int, injected, tag int6
 }
 
 // freePacket retires a packet: its generation is bumped so in-flight
-// events referencing it fall dead, and the record returns to the
-// free-list for the next newPacket.
-func (n *Network) freePacket(pkt *Packet) {
+// events referencing it fall dead, and the record returns to this
+// shard's free-list for the next newPacket.
+func (sh *shard) freePacket(pkt *Packet) {
 	pkt.gen++
 	pkt.Flow = nil
 	pkt.Tag = 0
-	if n.poolDisabled {
+	if sh.n.poolDisabled {
 		return
 	}
-	n.pktFree = append(n.pktFree, pkt)
+	sh.pktFree = append(sh.pktFree, pkt)
 }
 
 // pktQueue is a growable FIFO ring of packets.  Push and pop move head

@@ -15,17 +15,47 @@ import (
 // the matching is deterministic in the state.
 func FuzzISLIPSchedule(f *testing.F) {
 	const P = topology.SwitchPorts
-	// Seeds: reset state, saturated uniform load, colliding pointers,
-	// out-of-range pointers, sparse diagonal requests.
-	f.Add(make([]byte, 2*P+P+1))
-	f.Add(append(append(make([]byte, 2*P), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff), 1))
-	f.Add(append([]byte{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
-		0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01, 4))
-	f.Add(append([]byte{200, 201, 202, 203, 255, 255, 255, 255, 9, 9, 9, 9, 9, 9, 9, 9},
-		0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 8))
+	// Layout: P grant pointers, P accept pointers, P little-endian
+	// 16-bit request rows, one iteration byte.
+	const need = 2*P + 2*P + 1
+	// Seeds: reset state, saturated uniform load, colliding pointers
+	// with diagonal requests, out-of-range pointers with alternating
+	// requests.
+	f.Add(make([]byte, need))
+	saturated := make([]byte, need)
+	for i := 2 * P; i < 4*P; i++ {
+		saturated[i] = 0xff
+	}
+	saturated[need-1] = 1
+	f.Add(saturated)
+	diagonal := make([]byte, need)
+	for i := 0; i < 2*P; i++ {
+		diagonal[i] = 5
+	}
+	for i := 0; i < P; i++ {
+		bit := uint16(1) << (P - 1 - i)
+		diagonal[2*P+2*i] = byte(bit)
+		diagonal[2*P+2*i+1] = byte(bit >> 8)
+	}
+	diagonal[need-1] = 4
+	f.Add(diagonal)
+	wild := make([]byte, need)
+	for i := 0; i < 2*P; i++ {
+		wild[i] = byte(200 + i)
+	}
+	for i := 0; i < P; i++ {
+		row := uint16(0xaaaa)
+		if i%2 == 1 {
+			row = 0x5555
+		}
+		wild[2*P+2*i] = byte(row)
+		wild[2*P+2*i+1] = byte(row >> 8)
+	}
+	wild[need-1] = 8
+	f.Add(wild)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 2*P+P+1 {
+		if len(data) < need {
 			return
 		}
 		var st ISLIPState
@@ -33,9 +63,11 @@ func FuzzISLIPSchedule(f *testing.F) {
 			st.Grant[i] = data[i]
 			st.Accept[i] = data[P+i]
 		}
-		var req [P]uint8
-		copy(req[:], data[2*P:2*P+P])
-		iters := int(data[2*P+P])%(2*P) + 1
+		var req [P]uint16
+		for i := 0; i < P; i++ {
+			req[i] = uint16(data[2*P+2*i]) | uint16(data[2*P+2*i+1])<<8
+		}
+		iters := int(data[4*P])%(2*P) + 1
 
 		for pass := 0; pass < 4; pass++ {
 			before := st

@@ -62,8 +62,25 @@ type Config struct {
 	// instead of allocating a fresh engine — sweep harnesses keep one
 	// engine per worker so consecutive sweep points share its warmed
 	// event-record pool and heap.  Reuse is behavior-neutral: a Reset
-	// engine is indistinguishable from a zero one.
+	// engine is indistinguishable from a zero one.  In a parallel
+	// sharded run it becomes shard 0's engine.
 	Engine *sim.Engine
+
+	// Shards splits the fabric into that many topology-local
+	// partitions (pods, dragonfly groups, or BFS-carved subtrees; see
+	// topology.PartitionFabric), each owning its own engine, packet
+	// pool and counters, synchronized in conservative-lookahead
+	// windows.  0 and 1 select the classic single-engine simulation;
+	// counts above the switch count are capped.
+	Shards int
+
+	// ShardDeterministic keeps every shard on ONE engine: the event
+	// interleaving is then exactly the unsharded one, so the output is
+	// bit-identical across shard counts (the determinism regression
+	// tests rely on this).  It also keeps mid-run control-plane
+	// mutation safe — the churn and fault experiments force it — at
+	// the price of no parallel speedup.
+	ShardDeterministic bool
 }
 
 // DefaultConfig returns the evaluation configuration of the paper's
@@ -103,33 +120,30 @@ type Network struct {
 	measureStart int64
 	genStopped   bool
 
-	// Whole-run conservation counters (independent of measurement).
-	totalInjected  int64
-	totalDelivered int64
-	totalDropped   int64
+	// Sharded core (see shard.go): the partition, one shard per part
+	// owning its engine, packet pool and counters, and — in parallel
+	// mode only — the window coordinator.  Single-engine runs have one
+	// shard (or several sharing Engine under ShardDeterministic).
+	part     *topology.Partition
+	shards   []*shard
+	parallel bool
+	coord    *sim.Coordinator
 
-	// Packet free-list (see events.go): delivered and dropped packets
-	// are recycled, with generation counters guarding against stale
-	// in-flight events reviving them.
-	pktFree       []*Packet
-	poolDisabled  bool
-	staleArrivals int64
-
-	// Measurement-window network totals.
-	injectedBytes  int64
-	deliveredBytes int64
+	poolDisabled bool
 
 	// planes caches Routes.Planes(); a value above 1 routes each hop's
 	// wire VL through Routes.HopVL (the dragonfly's escape planes)
 	// instead of keeping the injection VL end to end.
 	planes int
 
+	// traceStride caches Topo.Ports() for switchTraceID.
+	traceStride int
+
 	// Input-queued switch model state (see voq.go): the selected
-	// model, the iSLIP iteration depth, and the shared MWM solver
-	// scratch (nil unless the oracle model is selected).
+	// model and the iSLIP iteration depth.  The MWM solver scratch
+	// lives on the shards.
 	model      SwitchModel
 	islipIters int
-	mwm        *mwmScratch
 
 	// OnDeliver, when set, observes every packet reaching its
 	// destination host (after the flow statistics update).  The
@@ -174,16 +188,26 @@ type Network struct {
 func (n *Network) SetFaults(in *faults.Injector) { n.Faults = in }
 
 // EnableMetrics attaches a counter set to the network and its
-// arbiters, returning it.  Idempotent; call before Start.
+// arbiters, returning it.  Idempotent; call before Start.  In a
+// parallel sharded run every shard counts into a private set and the
+// returned Metrics is the merged view, rebuilt after every Run /
+// RunWhile; the merge is exact (integer counters only).
 func (n *Network) EnableMetrics() *metrics.Metrics {
 	if n.Metrics == nil {
 		n.Metrics = metrics.New()
-		for _, h := range n.hosts {
-			h.out.arb.SetMetrics(&n.Metrics.Arb)
+		for _, sh := range n.shards {
+			if n.parallel {
+				sh.metrics = metrics.New()
+			} else {
+				sh.metrics = n.Metrics
+			}
 		}
-		for _, s := range n.switches {
-			for p := range s.out {
-				s.out[p].arb.SetMetrics(&n.Metrics.Arb)
+		for h, node := range n.hosts {
+			node.out.arb.SetMetrics(&n.shardForHost(h).metrics.Arb)
+		}
+		for s, node := range n.switches {
+			for p := range node.out {
+				node.out[p].arb.SetMetrics(&n.shardForSwitch(s).metrics.Arb)
 			}
 		}
 	}
@@ -193,7 +217,7 @@ func (n *Network) EnableMetrics() *metrics.Metrics {
 // EnableTrace attaches a ring buffer holding the last events
 // arbitration decisions to the engine, returning it.  Each pick
 // records (time, port, VL, entry, weight-left); ports are encoded per
-// HostTraceID and SwitchTraceID.
+// HostTraceID and switchTraceID.
 func (n *Network) EnableTrace(events int) *metrics.TraceBuffer {
 	if n.Engine.Trace == nil {
 		n.Engine.Trace = metrics.NewTraceBuffer(events)
@@ -204,8 +228,10 @@ func (n *Network) EnableTrace(events int) *metrics.TraceBuffer {
 // HostTraceID encodes host h's output interface for trace events.
 func HostTraceID(h int) int32 { return int32(-(h + 1)) }
 
-// SwitchTraceID encodes switch s's output port p for trace events.
-func SwitchTraceID(s, p int) int32 { return int32(s*topology.SwitchPorts + p) }
+// switchTraceID encodes switch s's output port p for trace events.
+// The stride is the topology's radix, not the SwitchPorts array cap,
+// so 8-port fabrics keep the trace numbering they always had.
+func (n *Network) switchTraceID(s, p int) int32 { return int32(s*n.traceStride + p) }
 
 // Validate checks a configuration for values that would corrupt the
 // simulation (zero payload, zero buffers, non-positive speedup, ...).
@@ -229,6 +255,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("fabric: unknown switch model %d", int(cfg.SwitchModel))
 	case cfg.ISLIPIters < 0:
 		return fmt.Errorf("fabric: negative iSLIP iteration count %d", cfg.ISLIPIters)
+	case cfg.Shards < 0:
+		return fmt.Errorf("fabric: negative shard count %d", cfg.Shards)
 	}
 	return nil
 }
@@ -278,15 +306,28 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 	}
 	ports := admission.NewPorts(topo, cfg.Limit)
 
+	shardCount := cfg.Shards
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	part, err := topology.PartitionFabric(topo, shardCount)
+	if err != nil {
+		return nil, err
+	}
+	parallel := part.Shards > 1 && !cfg.ShardDeterministic
+
 	eng := cfg.Engine
 	if eng == nil {
 		eng = &sim.Engine{}
 	} else {
 		eng.Reset()
 	}
-	// Preallocate the event core for the steady-state event population:
-	// a few events per port plus one generator per eventual flow.
-	eng.Grow(64 + 4*topo.NumHosts() + 2*topo.NumSwitches*topology.SwitchPorts)
+	if !parallel {
+		// Preallocate the event core for the steady-state event
+		// population: a few events per port plus one generator per
+		// eventual flow.
+		eng.Grow(64 + 4*topo.NumHosts() + 2*topo.NumSwitches*topology.SwitchPorts)
+	}
 
 	n := &Network{
 		Cfg:     cfg,
@@ -297,6 +338,26 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		Adm:     admission.NewController(topo, routes, mapping, ports),
 		rng:     rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
 		planes:  routes.Planes(),
+
+		traceStride: topo.Ports(),
+		part:        part,
+		parallel:    parallel,
+	}
+	// One shard per partition part.  Single-engine modes (one shard,
+	// or ShardDeterministic) share Engine across all shards, so the
+	// event interleaving is exactly the unsharded one; parallel mode
+	// gives every shard its own engine, sized for its own partition
+	// (satellite of this PR: no shard pool may reallocate mid-run).
+	n.shards = make([]*shard, part.Shards)
+	for k := range n.shards {
+		sh := &shard{n: n, id: int32(k), eng: eng}
+		if parallel && k > 0 {
+			sh.eng = &sim.Engine{}
+		}
+		if parallel {
+			sh.eng.Grow(64 + 4*len(part.Hosts(k)) + 2*len(part.Switches(k))*topology.SwitchPorts)
+		}
+		n.shards[k] = sh
 	}
 	// Reservations must cover wire bytes, not just payload, so that
 	// the header overhead of small packets cannot erode guarantees.
@@ -372,6 +433,28 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		n.switches[s] = node
 	}
 
+	// Parallel mode: mark the boundary ends of every cross-shard link.
+	// Only switch-to-switch links can cross (hosts follow their
+	// attachment switch), so host paths never consult the mirrors.
+	if parallel {
+		for s, node := range n.switches {
+			own := part.ShardOfSwitch(s)
+			for p := 0; p < topology.SwitchPorts; p++ {
+				op := &node.out[p]
+				if op.downSwitch >= 0 {
+					if dsh := part.ShardOfSwitch(op.downSwitch); dsh != own {
+						op.boundary = true
+						op.downShard = int32(dsh)
+					}
+				}
+				ip := &node.in[p]
+				if ip.upSwitch >= 0 && part.ShardOfSwitch(ip.upSwitch) != own {
+					ip.upBoundary = true
+				}
+			}
+		}
+	}
+
 	// Input-queued models: VOQ state per switch, iSLIP depth, and the
 	// MWM solver scratch.  The default WRR model allocates none of it.
 	n.model = cfg.SwitchModel
@@ -384,7 +467,16 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 			s.voq = &voqState{}
 		}
 		if n.model == ModelVOQMWM {
-			n.mwm = &mwmScratch{}
+			if parallel {
+				for _, sh := range n.shards {
+					sh.mwm = newMWMScratch(topo.Ports())
+				}
+			} else {
+				sc := newMWMScratch(topo.Ports())
+				for _, sh := range n.shards {
+					sh.mwm = sc
+				}
+			}
 		}
 	}
 	return n, nil
@@ -495,21 +587,22 @@ func (n *Network) Start() {
 // is dropped and counted).  The transport layer uses it to send
 // message segments.
 func (n *Network) InjectPacket(f *Flow, payload int, tag int64) bool {
+	sh := n.shardForHost(f.Src)
 	host := n.hosts[f.Src]
 	if host.queues[f.VL].len() >= n.queueCap(f) {
 		f.Drops++
-		n.totalDropped++
+		sh.totalDropped++
 		return false
 	}
-	pkt := n.newPacket(f, f.VL, f.Dst, payload+sl.HeaderBytes, n.Engine.Now(), tag)
+	pkt := sh.newPacket(f, f.VL, f.Dst, payload+sl.HeaderBytes, sh.eng.Now(), tag)
 	host.queues[f.VL].push(pkt)
-	n.totalInjected++
+	sh.totalInjected++
 	f.genPkts++
 	if n.measuring {
 		f.Injected.Add(pkt.Wire)
-		n.injectedBytes += int64(pkt.Wire)
+		sh.injectedBytes += int64(pkt.Wire)
 	}
-	n.kickHost(f.Src)
+	sh.kickHost(f.Src)
 	return true
 }
 
@@ -521,7 +614,8 @@ func (n *Network) StartFlow(f *Flow) {
 	if f.IAT > 1 {
 		phase = n.rng.Int63n(f.IAT)
 	}
-	n.Engine.Post(n.Engine.Now()+phase, n, sim.Event{Kind: evGenerate, P: f})
+	sh := n.shardForHost(f.Src)
+	sh.eng.Post(sh.eng.Now()+phase, sh, sim.Event{Kind: evGenerate, P: f})
 }
 
 // StopGeneration stops all sources after their current packet; used by
@@ -553,53 +647,56 @@ func (n *Network) ReleaseConnection(conn *admission.Conn, f *Flow, onDone func()
 }
 
 // generate creates one packet of f, enqueues it at the source host and
-// schedules the next generation.
-func (n *Network) generate(f *Flow) {
+// schedules the next generation.  Like every hot-path handler below it
+// runs on the shard owning the node it touches.
+func (sh *shard) generate(f *Flow) {
+	n := sh.n
 	if n.genStopped || f.stopped {
 		return
 	}
 	host := n.hosts[f.Src]
 	if host.queues[f.VL].len() >= n.queueCap(f) {
 		f.Drops++
-		n.totalDropped++
+		sh.totalDropped++
 	} else {
-		pkt := n.newPacket(f, f.VL, f.Dst, f.Wire, n.Engine.Now(), 0)
+		pkt := sh.newPacket(f, f.VL, f.Dst, f.Wire, sh.eng.Now(), 0)
 		host.queues[f.VL].push(pkt)
-		n.totalInjected++
+		sh.totalInjected++
 		f.genPkts++
 		if n.measuring {
 			f.Injected.Add(f.Wire)
-			n.injectedBytes += int64(f.Wire)
+			sh.injectedBytes += int64(f.Wire)
 		}
-		n.kickHost(f.Src)
+		sh.kickHost(f.Src)
 	}
 	gap := f.IAT
 	if f.pacing != nil {
 		gap = f.pacing()
 	}
-	n.Engine.PostAfter(gap, n, sim.Event{Kind: evGenerate, P: f})
+	sh.eng.PostAfter(gap, sh, sim.Event{Kind: evGenerate, P: f})
 }
 
 // kickHost schedules a scheduling pass at the host interface.
-func (n *Network) kickHost(h int) {
-	host := n.hosts[h]
+func (sh *shard) kickHost(h int) {
+	host := sh.n.hosts[h]
 	if host.out.pending {
 		return
 	}
 	host.out.pending = true
-	n.Engine.DeferEvent(n, sim.Event{Kind: evTryHost, A: int32(h)})
+	sh.eng.DeferEvent(sh, sim.Event{Kind: evTryHost, A: int32(h)})
 }
 
 // tryHost runs one arbitration decision at a host interface.
-func (n *Network) tryHost(h int) {
+func (sh *shard) tryHost(h int) {
+	n := sh.n
 	host := n.hosts[h]
-	now := n.Engine.Now()
+	now := sh.eng.Now()
 	if host.out.busyUntil > now {
 		return
 	}
 	if n.Faults != nil {
 		if until := n.Faults.BlockedUntil(faults.HostKey(h), now); until > now {
-			n.Engine.Post(until, n, sim.Event{Kind: evKickHost, A: int32(h)})
+			sh.eng.Post(until, sh, sim.Event{Kind: evKickHost, A: int32(h)})
 			return
 		}
 	}
@@ -609,7 +706,7 @@ func (n *Network) tryHost(h int) {
 	// Subnet management (VL 15) preempts all data lanes.
 	if q := &host.queues[arbtable.MgmtVL]; q.len() > 0 &&
 		down.occ[arbtable.MgmtVL]+q.front().Wire <= capacity {
-		n.transmit(&host.out, q.pop(), -1, arbtable.MgmtVL)
+		sh.transmit(&host.out, q.pop(), -1, arbtable.MgmtVL)
 		return
 	}
 
@@ -632,26 +729,27 @@ func (n *Network) tryHost(h int) {
 		host.out.pt.NoteStalePick()
 	}
 	pkt := host.queues[vl].pop()
-	if m := n.Metrics; m != nil {
+	if m := sh.metrics; m != nil {
 		m.AddVLBytes(vl, pkt.Wire)
 		m.ObserveQueueDepth(int64(host.queues[vl].len()))
 	}
-	if t := n.Engine.Trace; t != nil {
+	if t := sh.eng.Trace; t != nil {
 		lp := host.out.arb.Last()
 		t.Record(metrics.TraceEvent{
 			Time: now, Port: HostTraceID(h), VL: uint8(vl),
 			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
 		})
 	}
-	n.transmit(&host.out, pkt, -1, pkt.VL)
+	sh.transmit(&host.out, pkt, -1, pkt.VL)
 }
 
 // kickSwitch schedules a scheduling pass at a switch output port.
 // Under the input-queued models the whole switch is one scheduling
 // point, so every per-port kick folds into one crossbar pass.
-func (n *Network) kickSwitch(s, p int) {
+func (sh *shard) kickSwitch(s, p int) {
+	n := sh.n
 	if n.model != ModelWRR {
-		n.kickVOQ(s)
+		sh.kickVOQ(s)
 		return
 	}
 	out := &n.switches[s].out[p]
@@ -659,16 +757,17 @@ func (n *Network) kickSwitch(s, p int) {
 		return
 	}
 	out.pending = true
-	n.Engine.DeferEvent(n, sim.Event{Kind: evTrySwitch, A: int32(s), B: int32(p)})
+	sh.eng.DeferEvent(sh, sim.Event{Kind: evTrySwitch, A: int32(s), B: int32(p)})
 }
 
 // kickHeadsOfInput re-arms exactly the output ports that the head
 // packets of one input port are routed to — the ports whose candidates
 // changed when that input's crossbar slot freed.
-func (n *Network) kickHeadsOfInput(s, i int) {
+func (sh *shard) kickHeadsOfInput(s, i int) {
+	n := sh.n
 	if n.model != ModelWRR {
 		// A freed input slot re-opens the whole request matrix.
-		n.kickVOQ(s)
+		sh.kickVOQ(s)
 		return
 	}
 	in := &n.switches[s].in[i]
@@ -677,7 +776,7 @@ func (n *Network) kickHeadsOfInput(s, i int) {
 		if q.len() == 0 {
 			continue
 		}
-		n.kickSwitch(s, n.Routes.NextPort(s, q.front().Dst))
+		sh.kickSwitch(s, n.Routes.NextPort(s, q.front().Dst))
 	}
 }
 
@@ -685,25 +784,26 @@ func (n *Network) kickHeadsOfInput(s, i int) {
 // the candidates are the head packets of the input VL queues that
 // route to this port, whose input crossbar slot is free and whose
 // downstream buffer has room.
-func (n *Network) trySwitch(s, p int) {
+func (sh *shard) trySwitch(s, p int) {
+	n := sh.n
 	node := n.switches[s]
 	out := &node.out[p]
-	now := n.Engine.Now()
+	now := sh.eng.Now()
 	if !out.wired || out.busyUntil > now {
 		return
 	}
 	if n.Faults != nil {
 		if until := n.Faults.BlockedUntil(faults.SwitchPortKey(s, p), now); until > now {
-			n.Engine.Post(until, n, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(p)})
+			sh.eng.Post(until, sh, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(p)})
 			return
 		}
 	}
 
-	var down *inPort
+	// Credit view of the downstream buffer: the receiver's occupancy
+	// for intra-shard links, this port's mirror for boundary links,
+	// nil for host downstreams.
+	down := n.occView(out)
 	capacity := n.bufferCapacity()
-	if out.downSwitch >= 0 {
-		down = &n.switches[out.downSwitch].in[out.downPort]
-	}
 
 	// Subnet management (VL 15) preempts all data lanes: serve the
 	// first eligible VL 15 head in round-robin input order.
@@ -720,7 +820,7 @@ func (n *Network) trySwitch(s, p int) {
 			if n.Routes.NextPort(s, pkt.Dst) != p {
 				continue
 			}
-			if down != nil && down.occ[vl]+pkt.Wire > capacity {
+			if down != nil && down[vl]+pkt.Wire > capacity {
 				continue
 			}
 			q.pop()
@@ -730,8 +830,8 @@ func (n *Network) trySwitch(s, p int) {
 				xfer = 1
 			}
 			in.busyUntil = now + xfer
-			n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
-			n.transmit(out, pkt, switchCode(s, i), arbtable.MgmtVL)
+			sh.eng.Post(now+xfer, sh, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
+			sh.transmit(out, pkt, switchCode(s, i), arbtable.MgmtVL)
 			return
 		}
 	}
@@ -764,7 +864,7 @@ func (n *Network) trySwitch(s, p int) {
 					continue // lane claimed by an earlier input VL
 				}
 			}
-			if down != nil && down.occ[outvl]+pkt.Wire > capacity {
+			if down != nil && down[outvl]+pkt.Wire > capacity {
 				continue // no credit toward the next switch
 			}
 			ready[outvl] = pkt.Wire
@@ -785,14 +885,14 @@ func (n *Network) trySwitch(s, p int) {
 	in := &node.in[i]
 	pkt := in.queues[invl].pop()
 	pkt.VL = uint8(vl)
-	if m := n.Metrics; m != nil {
+	if m := sh.metrics; m != nil {
 		m.AddVLBytes(vl, pkt.Wire)
 		m.ObserveQueueDepth(int64(in.queues[invl].len()))
 	}
-	if t := n.Engine.Trace; t != nil {
+	if t := sh.eng.Trace; t != nil {
 		lp := out.arb.Last()
 		t.Record(metrics.TraceEvent{
-			Time: now, Port: SwitchTraceID(s, p), VL: uint8(vl),
+			Time: now, Port: n.switchTraceID(s, p), VL: uint8(vl),
 			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
 		})
 	}
@@ -802,12 +902,12 @@ func (n *Network) trySwitch(s, p int) {
 		xfer = 1
 	}
 	in.busyUntil = now + xfer
-	n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
+	sh.eng.Post(now+xfer, sh, sim.Event{Kind: evInputFree, A: int32(s), B: int32(i)})
 
 	if n.OnForward != nil {
 		n.OnForward(pkt, s, p)
 	}
-	n.transmit(out, pkt, switchCode(s, i), invl)
+	sh.transmit(out, pkt, switchCode(s, i), invl)
 }
 
 // transmit puts pkt on out's wire: reserves downstream buffer space,
@@ -820,8 +920,9 @@ func (n *Network) trySwitch(s, p int) {
 // credit must return on the lane the packet actually occupied; the
 // completion and arrival are typed events, so a forwarded packet costs
 // no allocation.
-func (n *Network) transmit(out *outPort, pkt *Packet, srcCode int32, srcVL uint8) {
-	now := n.Engine.Now()
+func (sh *shard) transmit(out *outPort, pkt *Packet, srcCode int32, srcVL uint8) {
+	n := sh.n
+	now := sh.eng.Now()
 	dur := int64(pkt.Wire)
 	out.busyUntil = now + dur
 	if n.measuring {
@@ -829,50 +930,75 @@ func (n *Network) transmit(out *outPort, pkt *Packet, srcCode int32, srcVL uint8
 	}
 
 	if out.downSwitch >= 0 {
-		down := &n.switches[out.downSwitch].in[out.downPort]
-		down.occ[pkt.VL] += pkt.Wire // credit consumed at send time
+		if out.boundary {
+			// Cross-shard link: consume credit on the local mirror; the
+			// receiver accounts its real occupancy when the packet
+			// lands, and batched returns repay the mirror at barriers.
+			out.bOcc[pkt.VL] += pkt.Wire
+		} else {
+			down := &n.switches[out.downSwitch].in[out.downPort]
+			down.occ[pkt.VL] += pkt.Wire // credit consumed at send time
+		}
 	}
 
-	n.Engine.Post(now+dur, n, sim.Event{
+	sh.eng.Post(now+dur, sh, sim.Event{
 		Kind: evXmitDone, A: out.code, B: srcCode,
 		N: int64(srcVL)<<32 | int64(pkt.Wire),
 	})
-	n.Engine.Post(now+dur+n.Cfg.LinkLatency, n, sim.Event{
-		Kind: evArrive, A: out.code, B: int32(pkt.gen), P: pkt,
-	})
+	arrival := sim.Event{Kind: evArrive, A: out.code, B: int32(pkt.gen), P: pkt}
+	if out.boundary {
+		// The arrival executes on the downstream shard; it is batched
+		// here and posted into the peer engine at the next barrier.
+		// Its timestamp is at least one lookahead away, so it always
+		// lands in a future window.
+		sh.outbox = append(sh.outbox, boundaryEvent{
+			shard: out.downShard, at: now + dur + n.Cfg.LinkLatency, ev: arrival,
+		})
+	} else {
+		sh.eng.Post(now+dur+n.Cfg.LinkLatency, sh, arrival)
+	}
 }
 
 // arrive lands a packet at the far end of a link: delivery when the
-// end is a host, enqueueing at the switch input otherwise.
-func (n *Network) arrive(out *outPort, pkt *Packet) {
+// end is a host, enqueueing at the switch input otherwise.  For a
+// boundary link this runs on the RECEIVING shard, which also takes
+// over the occupancy accounting the sender did locally elsewhere.
+func (sh *shard) arrive(out *outPort, pkt *Packet) {
+	n := sh.n
 	if out.downHost >= 0 {
-		n.deliver(pkt)
+		sh.deliver(pkt)
 		return
 	}
 	s := out.downSwitch
+	in := &n.switches[s].in[out.downPort]
+	if out.boundary {
+		in.occ[pkt.VL] += pkt.Wire
+	}
 	if n.model != ModelWRR {
-		n.voqEnqueue(s, out.downPort, pkt)
+		sh.voqEnqueue(s, out.downPort, pkt)
 		return
 	}
-	in := &n.switches[s].in[out.downPort]
 	in.queues[pkt.VL].push(pkt)
-	n.kickSwitch(s, n.Routes.NextPort(s, pkt.Dst))
+	sh.kickSwitch(s, n.Routes.NextPort(s, pkt.Dst))
 }
 
 // deliver records a packet reaching its destination host and recycles
-// the packet record.
-func (n *Network) deliver(pkt *Packet) {
-	n.totalDelivered++
+// the packet record.  Runs on the destination's shard; the fields it
+// writes (delivery-side flow statistics, delivery counters, the packet
+// pool) are never touched by the source shard.
+func (sh *shard) deliver(pkt *Packet) {
+	n := sh.n
+	sh.totalDelivered++
 	pkt.Flow.delPkts++
 	if n.measuring {
 		f := pkt.Flow
-		now := n.Engine.Now()
+		now := sh.eng.Now()
 		f.Delivered.Add(pkt.Wire)
-		n.deliveredBytes += int64(pkt.Wire)
+		sh.deliveredBytes += int64(pkt.Wire)
 		if f.QoS && f.Deadline > 0 {
 			delay := now - pkt.Injected
 			f.Delay.Add(float64(delay) / float64(f.Deadline))
-			n.Metrics.CountDelivery(delay > f.Deadline)
+			sh.metrics.CountDelivery(delay > f.Deadline)
 		}
 		if f.lastArrival >= 0 && f.IAT > 0 {
 			dev := float64(now-f.lastArrival-f.IAT) / float64(f.IAT)
@@ -883,15 +1009,17 @@ func (n *Network) deliver(pkt *Packet) {
 	if n.OnDeliver != nil {
 		n.OnDeliver(pkt)
 	}
-	n.freePacket(pkt)
+	sh.freePacket(pkt)
 }
 
 // StartMeasurement begins the steady-state window: per-flow statistics
 // and port meters reset and deliveries start counting.
 func (n *Network) StartMeasurement() {
 	n.measuring = true
-	n.measureStart = n.Engine.Now()
-	n.injectedBytes, n.deliveredBytes = 0, 0
+	n.measureStart = n.Now()
+	for _, sh := range n.shards {
+		sh.injectedBytes, sh.deliveredBytes = 0, 0
+	}
 	for _, f := range n.flows {
 		f.resetMeasurement()
 	}
@@ -906,13 +1034,19 @@ func (n *Network) StartMeasurement() {
 }
 
 // MeasuredElapsed returns the length of the measurement window so far.
-func (n *Network) MeasuredElapsed() int64 { return n.Engine.Now() - n.measureStart }
+func (n *Network) MeasuredElapsed() int64 { return n.Now() - n.measureStart }
 
 // Totals returns whole-run conservation counters: packets injected
 // into host queues, delivered to destinations, and dropped at source
-// queues.
+// queues.  Each shard counts its own side (injections and drops at the
+// source, deliveries at the destination); the totals are the sums.
 func (n *Network) Totals() (injected, delivered, dropped int64) {
-	return n.totalInjected, n.totalDelivered, n.totalDropped
+	for _, sh := range n.shards {
+		injected += sh.totalInjected
+		delivered += sh.totalDelivered
+		dropped += sh.totalDropped
+	}
+	return injected, delivered, dropped
 }
 
 // QueuedPackets counts packets currently sitting in host send queues
@@ -951,7 +1085,11 @@ func (n *Network) InjectedBytesPerCyclePerNode() float64 {
 	if el <= 0 {
 		return 0
 	}
-	return float64(n.injectedBytes) / float64(el) / float64(len(n.hosts))
+	var bytes int64
+	for _, sh := range n.shards {
+		bytes += sh.injectedBytes
+	}
+	return float64(bytes) / float64(el) / float64(len(n.hosts))
 }
 
 // DeliveredBytesPerCyclePerNode reports delivered traffic normalized
@@ -961,7 +1099,11 @@ func (n *Network) DeliveredBytesPerCyclePerNode() float64 {
 	if el <= 0 {
 		return 0
 	}
-	return float64(n.deliveredBytes) / float64(el) / float64(len(n.hosts))
+	var bytes int64
+	for _, sh := range n.shards {
+		bytes += sh.deliveredBytes
+	}
+	return float64(bytes) / float64(el) / float64(len(n.hosts))
 }
 
 // MeanHostUtilization returns the average host-interface link
@@ -1062,6 +1204,25 @@ func (n *Network) CheckBuffers() error {
 				}
 			}
 		}
+		// Boundary mirrors obey the same bounds as real occupancy: the
+		// sender never reserves past capacity and batched credit
+		// returns never repay bytes that were not reserved.
+		for p := range s.out {
+			out := &s.out[p]
+			if !out.boundary {
+				continue
+			}
+			for vl := 0; vl < arbtable.NumVLs; vl++ {
+				if out.bOcc[vl] < 0 {
+					return fmt.Errorf("fabric: switch %d port %d VL %d boundary mirror %d < 0",
+						s.id, p, vl, out.bOcc[vl])
+				}
+				if out.bOcc[vl] > capacity {
+					return fmt.Errorf("fabric: switch %d port %d VL %d boundary mirror %d > capacity %d",
+						s.id, p, vl, out.bOcc[vl], capacity)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -1070,9 +1231,13 @@ func (n *Network) CheckBuffers() error {
 // network drained, every injected packet was delivered or dropped.
 func (n *Network) CheckConservation() error {
 	queued := n.QueuedPackets()
-	if n.totalInjected != n.totalDelivered+queued {
+	injected, delivered, _ := n.Totals()
+	for _, sh := range n.shards {
+		queued += int64(len(sh.outbox)) // boundary packets awaiting flush
+	}
+	if injected != delivered+queued {
 		return fmt.Errorf("fabric: injected %d != delivered %d + queued %d",
-			n.totalInjected, n.totalDelivered, queued)
+			injected, delivered, queued)
 	}
 	return nil
 }

@@ -24,6 +24,13 @@ type inPort struct {
 	// >= 0); unused ports have both negative.
 	upSwitch, upPort int
 	upHost           int
+
+	// upBoundary marks an upstream switch owned by another shard in a
+	// parallel sharded run: freed credits are then batched for the
+	// barrier flush instead of kicking the upstream port directly.
+	// Never set for host upstreams (hosts share their attachment
+	// switch's shard) or outside parallel mode.
+	upBoundary bool
 }
 
 // outPort is one scheduling point: a switch output port or a host
@@ -53,6 +60,18 @@ type outPort struct {
 	downSwitch, downPort int
 	downHost             int
 	wired                bool
+
+	// Sharded parallel runs: boundary marks a link whose downstream
+	// switch lives in shard downShard, different from this port's.
+	// Credit checks then consult bOcc — this side's mirror of the
+	// downstream per-VL occupancy, incremented at transmit and
+	// decremented by batched credit returns at window barriers —
+	// instead of reaching into the peer shard's memory.  The mirror
+	// is conservative (it still counts packets in flight and credits
+	// not yet returned), so boundary buffers cannot be overcommitted.
+	boundary  bool
+	downShard int32
+	bOcc      [arbtable.NumVLs]int
 
 	// Meter counts bytes put on the wire during the measurement
 	// window (Table 2 utilization rows).

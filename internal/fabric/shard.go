@@ -1,0 +1,269 @@
+package fabric
+
+import (
+	"repro/internal/arbtable"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file is the sharded half of the simulation core.  A network is
+// split by topology.PartitionFabric into topology-local shards — pods
+// of a fat-tree, groups of a dragonfly, BFS-carved subtrees of an
+// irregular fabric — and each shard owns every mutable hot-path
+// resource of its switches and hosts: an event engine, a packet
+// free-list, conservation counters, and (in parallel mode) a metrics
+// set.  The shards advance together in conservative-lookahead windows
+// under sim.Coordinator; everything that crosses a shard boundary is
+// batched and exchanged at the window barrier:
+//
+//   - Packet arrivals.  A boundary transmit does not post the arrival
+//     into the peer engine directly (engines run concurrently inside a
+//     window); it appends to the sender shard's outbox, and the flush
+//     callback posts the batch at the barrier.  The arrival timestamp
+//     t+wire+latency is at least one lookahead (link latency plus the
+//     minimum packet wire time) past the sending window, so it always
+//     lands in a future window — the protocol never delivers into the
+//     past.
+//   - Credit state.  The per-VL occupancy of a boundary link's
+//     downstream buffer lives on the RECEIVER; the sender schedules
+//     against a local mirror (outPort.bOcc) that it increments at
+//     transmit time and that credit returns decrement at the barrier.
+//     The mirror is conservative — it includes in-flight packets and
+//     credits not yet returned — so boundary buffers can never be
+//     overcommitted, only under-filled by at most one window.
+//   - Credit returns.  When a packet leaves a receiver's input buffer
+//     whose upstream port is in another shard, the freed bytes are
+//     appended to the receiver shard's credit batch; the flush applies
+//     them to the sender's mirror and re-kicks the sender port.
+//
+// Determinism: single-shard runs are byte-identical to the unsharded
+// engine (one shard, no boundaries).  ShardDeterministic runs place
+// all shards on ONE engine — no boundaries, no coordinator, the exact
+// unsharded event order — so their output is bit-identical for every
+// shard count; the determinism regression tests compare them.
+// Parallel runs are deterministic for a fixed shard count (outboxes
+// flush in shard order, engines merge boundary batches by (time,
+// seq)), but exchange credits at barrier granularity, so their timing
+// differs from the unsharded schedule by design.
+
+// boundaryEvent is one cross-shard packet arrival, buffered in the
+// sending shard's outbox until the next window barrier.
+type boundaryEvent struct {
+	shard int32 // destination shard
+	at    int64
+	ev    sim.Event
+}
+
+// creditReturn is one batch-applied credit: wire bytes freed from a
+// boundary input buffer, owed to the upstream out port's mirror.
+type creditReturn struct {
+	code int32 // upstream out-port code (always a switch port)
+	vl   uint8
+	wire int32
+}
+
+// shard owns the mutable simulation state of one topology partition.
+// Every hot-path handler runs with a shard receiver: events touch only
+// the receiving shard's switches, hosts, packet pool and counters
+// (plus the source/destination halves of flow statistics, which are
+// written by exactly one side), so shards of a parallel window share
+// nothing but immutable configuration.
+type shard struct {
+	n   *Network
+	id  int32
+	eng *sim.Engine
+
+	// Per-shard packet free-list (see events.go).
+	pktFree       []*Packet
+	staleArrivals int64
+
+	// Whole-run conservation counters: injections and drops are
+	// counted by the source host's shard, deliveries by the
+	// destination's; Network.Totals sums the shards.
+	totalInjected  int64
+	totalDelivered int64
+	totalDropped   int64
+
+	// Measurement-window byte totals, split the same way.
+	injectedBytes  int64
+	deliveredBytes int64
+
+	// Boundary batches, drained by Network.flushBoundary at barriers.
+	outbox  []boundaryEvent
+	credits []creditReturn
+
+	// metrics is where this shard's hot path counts: the shared
+	// Network.Metrics in single-engine modes, a private set merged at
+	// run end in parallel mode.  Nil until EnableMetrics.
+	metrics *metrics.Metrics
+
+	// mwm is the MWM solver scratch of this shard's input-queued
+	// switches (shared across shards in single-engine modes, private
+	// in parallel mode; nil unless the oracle model is selected).
+	mwm *mwmScratch
+}
+
+// shardForHost returns the shard owning a host.
+func (n *Network) shardForHost(h int) *shard { return n.shards[n.part.ShardOfHost(h)] }
+
+// shardForSwitch returns the shard owning a switch.
+func (n *Network) shardForSwitch(s int) *shard { return n.shards[n.part.ShardOfSwitch(s)] }
+
+// Shards returns the number of shards the fabric simulates with.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// Parallel reports whether the shards run concurrently under the
+// conservative-lookahead coordinator (as opposed to sharing one
+// engine).
+func (n *Network) Parallel() bool { return n.parallel }
+
+// occView returns the per-VL occupancy array that credit checks for
+// out's downstream buffer must consult: the receiver's real occupancy
+// for intra-shard links, the sender-side mirror for boundary links,
+// nil when the downstream is a host (hosts consume at link rate).
+func (n *Network) occView(out *outPort) *[arbtable.NumVLs]int {
+	if out.downSwitch < 0 {
+		return nil
+	}
+	if out.boundary {
+		return &out.bOcc
+	}
+	return &n.switches[out.downSwitch].in[out.downPort].occ
+}
+
+// flushBoundary exchanges the boundary batches at a window barrier,
+// while every engine is quiescent.  Outboxes post in shard order and
+// append order, so the merged (time, seq) order in each receiving
+// engine is a pure function of the simulation state — parallel runs
+// are reproducible for a fixed shard count.
+func (n *Network) flushBoundary() {
+	for _, sh := range n.shards {
+		for k := range sh.outbox {
+			be := &sh.outbox[k]
+			dst := n.shards[be.shard]
+			dst.eng.Post(be.at, dst, be.ev)
+			sh.outbox[k].ev.P = nil
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+	for _, sh := range n.shards {
+		for _, cr := range sh.credits {
+			out := n.outPortByCode(cr.code)
+			out.bOcc[cr.vl] -= int(cr.wire)
+			s := int(cr.code) / topology.SwitchPorts
+			n.shardForSwitch(s).kickSwitch(s, int(cr.code)%topology.SwitchPorts)
+		}
+		sh.credits = sh.credits[:0]
+	}
+}
+
+// minLookahead computes the synchronization window width: link latency
+// plus the smallest packet wire time any flow can put on a boundary
+// link.  Recomputed at every run entry so flows attached between runs
+// are covered.
+func (n *Network) minLookahead() int64 {
+	minWire := int64(0)
+	for _, f := range n.flows {
+		if w := int64(f.Wire); minWire == 0 || w < minWire {
+			minWire = w
+		}
+	}
+	if minWire == 0 {
+		minWire = 1
+	}
+	la := n.Cfg.LinkLatency + minWire
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// coordinator returns the window coordinator, building it on first
+// use and refreshing its lookahead.
+func (n *Network) coordinator() *sim.Coordinator {
+	if n.coord == nil {
+		engines := make([]*sim.Engine, len(n.shards))
+		for i, sh := range n.shards {
+			engines[i] = sh.eng
+		}
+		n.coord = &sim.Coordinator{Engines: engines, Flush: n.flushBoundary}
+	}
+	n.coord.Lookahead = n.minLookahead()
+	return n.coord
+}
+
+// Run advances the fabric to the given time: directly on the engine
+// for single-engine modes, in conservative-lookahead windows across
+// the shard engines in parallel mode.  Callers drive a network through
+// Run/RunWhile/Now instead of Network.Engine so the same experiment
+// code works at any shard count.
+func (n *Network) Run(until int64) {
+	if !n.parallel {
+		n.Engine.Run(until)
+		return
+	}
+	n.coordinator().Run(until)
+	n.syncMetrics()
+}
+
+// RunWhile advances the fabric while cond() holds.  In parallel mode
+// the condition is evaluated at window barriers (the only points where
+// cross-shard state is consistent), so the run can overshoot by up to
+// one lookahead window.
+func (n *Network) RunWhile(cond func() bool) {
+	if !n.parallel {
+		n.Engine.RunWhile(cond)
+		return
+	}
+	n.coordinator().RunWhile(cond)
+	n.syncMetrics()
+}
+
+// Now returns the fabric clock.  All shard engines agree at barriers;
+// between runs this is the time every shard stopped at.
+func (n *Network) Now() int64 { return n.Engine.Now() }
+
+// Windows returns the number of synchronization windows executed so
+// far (0 in single-engine modes).
+func (n *Network) Windows() uint64 {
+	if n.coord == nil {
+		return 0
+	}
+	return n.coord.Windows
+}
+
+// ShardRecordCapacities returns each shard engine's event-record pool
+// capacity, index = shard id.  The sizing regression test snapshots it
+// before and after a run: per-shard Grow is meant to pre-size the pools
+// so the hot path never reallocates mid-run.
+func (n *Network) ShardRecordCapacities() []int {
+	caps := make([]int, len(n.shards))
+	for i, sh := range n.shards {
+		caps[i] = sh.eng.RecordCapacity()
+	}
+	return caps
+}
+
+// ExecutedEvents sums the executed-event counts of every shard engine
+// (the throughput numerator of the sharding benchmark).
+func (n *Network) ExecutedEvents() uint64 {
+	var total uint64
+	for _, sh := range n.shards {
+		total += sh.eng.Executed()
+	}
+	return total
+}
+
+// syncMetrics rebuilds the merged Network.Metrics from the per-shard
+// sets after a parallel run.  Counters are integers, so the merge is
+// exact.
+func (n *Network) syncMetrics() {
+	if n.Metrics == nil {
+		return
+	}
+	*n.Metrics = metrics.Metrics{}
+	for _, sh := range n.shards {
+		n.Metrics.Merge(sh.metrics)
+	}
+}

@@ -1,0 +1,205 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sl"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// buildSharded creates a network over a generated structured topology
+// with the given shard configuration.
+func buildSharded(t *testing.T, spec topology.Spec, seed int64, shards int, det bool) *Network {
+	t.Helper()
+	topo, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(topo.NumSwitches, 256, seed)
+	cfg.Shards = shards
+	cfg.ShardDeterministic = det
+	n, err := NewWithTopology(cfg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// loadSharded offers a deterministic mix of QoS connections and
+// best-effort background — a pure function of (topology, seed), so
+// every shard count sees identical traffic.
+func loadSharded(t *testing.T, n *Network, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	hosts := n.Topo.NumHosts()
+	levels := []int{3, 4, 6, 7}
+	for i := 0; i < 2*hosts; i++ {
+		src, dst := rng.Intn(hosts), rng.Intn(hosts)
+		if src == dst {
+			continue
+		}
+		conn, err := n.Adm.Admit(traffic.Request{
+			Src: src, Dst: dst,
+			Level: sl.DefaultLevels[levels[i%len(levels)]], Mbps: 4,
+		})
+		if err != nil {
+			continue
+		}
+		n.AddConnection(conn)
+	}
+	for _, be := range traffic.BestEffortBackground(hosts, 200, seed+1) {
+		n.AddBestEffort(be)
+	}
+	if len(n.Flows()) == 0 {
+		t.Fatal("no flows attached")
+	}
+}
+
+// TestParallelShardSmoke drives a four-shard fat-tree through the
+// conservative-lookahead coordinator and checks the global invariants
+// that the boundary protocol must preserve: packet conservation,
+// boundary-mirror credit bounds, and no stale arrivals.  Run it under
+// -race to check the window protocol really keeps shards disjoint.
+func TestParallelShardSmoke(t *testing.T) {
+	n := buildSharded(t, topology.Spec{Class: topology.FatTree, K: 4}, 3, 4, false)
+	if !n.Parallel() {
+		t.Fatal("4-shard fat-tree should run parallel")
+	}
+	if n.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", n.Shards())
+	}
+	loadSharded(t, n, 17)
+
+	n.Start()
+	n.StartMeasurement()
+	n.Run(400_000)
+
+	if n.Windows() == 0 {
+		t.Error("no synchronization windows executed")
+	}
+	inj, del, _ := n.Totals()
+	if inj == 0 || del == 0 {
+		t.Fatalf("injected %d delivered %d: fabric idle", inj, del)
+	}
+	if err := n.CheckBuffers(); err != nil {
+		t.Error(err)
+	}
+	if n.StaleArrivals() != 0 {
+		t.Errorf("%d stale arrivals", n.StaleArrivals())
+	}
+
+	// Stop generation and drain: every injected packet must come out
+	// (conservation is a quiescent invariant — in-flight arrivals on
+	// the shard heaps are not "queued").
+	n.StopGeneration()
+	n.Run(1 << 40)
+	if err := n.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	inj, del, drop := n.Totals()
+	if del+drop != inj {
+		t.Errorf("after drain: injected %d != delivered %d + dropped %d", inj, del, drop)
+	}
+}
+
+// TestParallelShardRunWhile checks the barrier-granularity condition:
+// RunWhile must stop within one window of the condition turning false
+// and leave the fabric consistent.
+func TestParallelShardRunWhile(t *testing.T) {
+	n := buildSharded(t, topology.Spec{Class: topology.FatTree, K: 4}, 5, 2, false)
+	loadSharded(t, n, 23)
+	n.Start()
+
+	target := int64(500)
+	n.RunWhile(func() bool {
+		_, del, _ := n.Totals()
+		return del < target && n.Now() < 2_000_000
+	})
+	_, del, _ := n.Totals()
+	if del < target && n.Now() < 2_000_000 {
+		t.Fatalf("RunWhile returned with %d delivered at t=%d", del, n.Now())
+	}
+	n.StopGeneration()
+	n.Run(1 << 41)
+	if err := n.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+// shardDigest flattens every observable statistic of a run into one
+// string: conservation totals plus each flow's measurement-window
+// meters, delay CDF, jitter histogram and drop count.
+func shardDigest(n *Network) string {
+	var b strings.Builder
+	inj, del, drop := n.Totals()
+	fmt.Fprintf(&b, "totals %d %d %d stale %d\n", inj, del, drop, n.StaleArrivals())
+	for _, f := range n.Flows() {
+		fmt.Fprintf(&b, "flow %d: inj %+v del %+v drops %d delay %+v jitter %+v\n",
+			f.ID, f.Injected, f.Delivered, f.Drops, *f.Delay, *f.Jitter)
+	}
+	return b.String()
+}
+
+// TestShardDeterministicIdenticalAcrossCounts is the determinism
+// regression at the fabric layer: with ShardDeterministic set, every
+// shard count shares one engine and must produce bit-identical
+// statistics — the partition changes who owns which counter, never
+// what is counted.
+func TestShardDeterministicIdenticalAcrossCounts(t *testing.T) {
+	var want string
+	for _, shards := range []int{1, 2, 4, 8} {
+		n := buildSharded(t, topology.Spec{Class: topology.FatTree, K: 4}, 3, shards, true)
+		if n.Parallel() {
+			t.Fatalf("shards=%d: det mode must not run parallel", shards)
+		}
+		loadSharded(t, n, 17)
+		n.Start()
+		n.StartMeasurement()
+		n.Run(300_000)
+		got := shardDigest(n)
+		if shards == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("shards=%d: digest differs from single-shard run\n got: %.200s\nwant: %.200s",
+				shards, got, want)
+		}
+	}
+}
+
+// TestShardPoolsDoNotReallocateMidRun is the sizing regression for
+// per-shard Grow: on the scale-grid fabrics, every shard engine's
+// event-record pool must be pre-sized large enough that a loaded run
+// never reallocates it.
+func TestShardPoolsDoNotReallocateMidRun(t *testing.T) {
+	specs := []topology.Spec{
+		{Class: topology.FatTree, K: 4},
+		{Class: topology.FatTree, K: 8},
+		{Class: topology.Dragonfly, A: 4, P: 2, H: 2},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Label(), func(t *testing.T) {
+			n := buildSharded(t, spec, 7, 4, false)
+			if !n.Parallel() {
+				t.Skipf("%s does not shard to 4", spec.Label())
+			}
+			loadSharded(t, n, 29)
+			before := n.ShardRecordCapacities()
+			n.Start()
+			n.Run(400_000)
+			after := n.ShardRecordCapacities()
+			for i := range before {
+				if after[i] != before[i] {
+					t.Errorf("shard %d record pool grew %d -> %d mid-run",
+						i, before[i], after[i])
+				}
+			}
+		})
+	}
+}

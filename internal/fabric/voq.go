@@ -105,7 +105,7 @@ type ISLIPState struct {
 // pairs are locked for the remaining iterations.  Out-of-range
 // pointer values (a desynchronized or fuzzed state) are reduced mod
 // the port count rather than trusted.
-func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint8, iters int, match *[topology.SwitchPorts]int8) int {
+func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint16, iters int, match *[topology.SwitchPorts]int8) int {
 	const P = topology.SwitchPorts
 	for j := range match {
 		match[j] = -1
@@ -113,11 +113,11 @@ func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint8, iters int, match *
 	if iters < 1 {
 		iters = 1
 	}
-	var inMatched uint8
+	var inMatched uint16
 	size := 0
 	for it := 0; it < iters && size < P; it++ {
 		// Grant phase.
-		var grants [P]uint8 // per input: outputs granting it this round
+		var grants [P]uint16 // per input: outputs granting it this round
 		granted := false
 		for j := 0; j < P; j++ {
 			if match[j] >= 0 {
@@ -166,11 +166,26 @@ func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint8, iters int, match *
 // mwmScratch is the workspace of the exact maximum-weight-matching
 // solver: DP tables over output subsets plus the per-pass weight
 // matrix.  It lives on the Network so a scheduling pass allocates
-// nothing.
+// nothing.  The DP tables are sized by the fabric's radix (the port
+// count the topology actually uses), so an 8-port fabric keeps its
+// 256-subset tables instead of paying for the full 2^16 state space.
 type mwmScratch struct {
+	n   int // radix: inputs/outputs run over 0..n-1
 	w   [topology.SwitchPorts][topology.SwitchPorts]int32
-	dp  [2][1 << topology.SwitchPorts]int64
-	par [topology.SwitchPorts][1 << topology.SwitchPorts]int8
+	dp  [2][]int64 // 1<<n entries each
+	par [][]int8   // n rows of 1<<n entries
+}
+
+// newMWMScratch allocates the solver workspace for an n-port switch.
+func newMWMScratch(n int) *mwmScratch {
+	sc := &mwmScratch{n: n}
+	sc.dp[0] = make([]int64, 1<<n)
+	sc.dp[1] = make([]int64, 1<<n)
+	sc.par = make([][]int8, n)
+	for i := range sc.par {
+		sc.par[i] = make([]int8, 1<<n)
+	}
+	return sc
 }
 
 // match computes an exact maximum-weight matching of w (w[i][j] > 0 is
@@ -181,9 +196,9 @@ type mwmScratch struct {
 // unmatched, then the lowest output index, so the oracle's decisions
 // are reproducible from the weights alone.
 func (sc *mwmScratch) match(w *[topology.SwitchPorts][topology.SwitchPorts]int32, match *[topology.SwitchPorts]int8) (size int, weight int64) {
-	const P = topology.SwitchPorts
-	const full = 1 << P
-	cur, nxt := &sc.dp[0], &sc.dp[1]
+	P := sc.n
+	full := 1 << P
+	cur, nxt := sc.dp[0], sc.dp[1]
 	for mask := 0; mask < full; mask++ {
 		cur[mask] = -1
 	}
@@ -302,28 +317,31 @@ func (v *voqState) voqOccupancy(i, j int) int32 {
 // kickVOQ schedules a crossbar scheduling pass at an input-queued
 // switch (the whole switch is one scheduling point, unlike the WRR
 // model's independent output ports).
-func (n *Network) kickVOQ(s int) {
-	v := n.switches[s].voq
+func (sh *shard) kickVOQ(s int) {
+	v := sh.n.switches[s].voq
 	if v.pending {
 		return
 	}
 	v.pending = true
-	n.Engine.DeferEvent(n, sim.Event{Kind: evVOQSched, A: int32(s)})
+	sh.eng.DeferEvent(sh, sim.Event{Kind: evVOQSched, A: int32(s)})
 }
 
 // voqEnqueue lands an arriving packet in its virtual output queue: the
 // output port is resolved from the routing tables at enqueue time, so
 // a packet can never block a packet bound for a different output —
 // the HOL-blocking remedy VOQs exist for.
-func (n *Network) voqEnqueue(s, in int, pkt *Packet) {
+func (sh *shard) voqEnqueue(s, in int, pkt *Packet) {
+	n := sh.n
 	j := n.Routes.NextPort(s, pkt.Dst)
 	n.switches[s].voq.voqPush(in, j, int(pkt.VL), pkt)
-	n.kickVOQ(s)
+	sh.kickVOQ(s)
 }
 
 // voqEligible reports whether VOQ group (i, j) holds at least one head
-// packet with downstream credit on its outgoing lane.
-func (n *Network) voqEligible(node *swNode, down *inPort, i, j, capacity int) bool {
+// packet with downstream credit on its outgoing lane.  down is the
+// occupancy view of output j's downstream buffer (see occView): nil for
+// a host, the boundary mirror for a cross-shard link.
+func (n *Network) voqEligible(node *swNode, down *[arbtable.NumVLs]int, i, j, capacity int) bool {
 	v := node.voq
 	bits := v.nonEmpty[i][j] &^ (1 << arbtable.MgmtVL)
 	if bits == 0 {
@@ -339,7 +357,7 @@ func (n *Network) voqEligible(node *swNode, down *inPort, i, j, capacity int) bo
 			if n.planes > 1 {
 				outvl = int(n.Routes.HopVL(node.id, pkt.Dst, pkt.Base))
 			}
-			if down.occ[outvl]+pkt.Wire <= capacity {
+			if down[outvl]+pkt.Wire <= capacity {
 				return true
 			}
 		}
@@ -348,30 +366,22 @@ func (n *Network) voqEligible(node *swNode, down *inPort, i, j, capacity int) bo
 	return false
 }
 
-// voqDown resolves the downstream input buffer of an output port (nil
-// when the port feeds a host).
-func (n *Network) voqDown(out *outPort) *inPort {
-	if out.downSwitch >= 0 {
-		return &n.switches[out.downSwitch].in[out.downPort]
-	}
-	return nil
-}
-
 // voqSched runs one crossbar scheduling pass at switch s: subnet
 // management preempts, then the request matrix is built from the VOQ
 // heads with credit, matched by iSLIP or the MWM oracle, and each
 // matched pair's lane is picked by the output port's arbitration
 // table.  Zero allocations: all scratch state is fixed-size on the
 // Network and the switch.
-func (n *Network) voqSched(s int) {
+func (sh *shard) voqSched(s int) {
 	const P = topology.SwitchPorts
+	n := sh.n
 	node := n.switches[s]
 	v := node.voq
-	now := n.Engine.Now()
+	now := sh.eng.Now()
 	capacity := n.bufferCapacity()
 
 	// Output availability: wired, link idle, outside fault windows.
-	var outFree uint8
+	var outFree uint16
 	for j := 0; j < P; j++ {
 		out := &node.out[j]
 		if !out.wired || out.busyUntil > now {
@@ -379,13 +389,13 @@ func (n *Network) voqSched(s int) {
 		}
 		if n.Faults != nil {
 			if until := n.Faults.BlockedUntil(faults.SwitchPortKey(s, j), now); until > now {
-				n.Engine.Post(until, n, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(j)})
+				sh.eng.Post(until, sh, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(j)})
 				continue
 			}
 		}
 		outFree |= 1 << j
 	}
-	var inFree uint8
+	var inFree uint16
 	for i := 0; i < P; i++ {
 		if node.in[i].busyUntil <= now {
 			inFree |= 1 << i
@@ -403,27 +413,27 @@ func (n *Network) voqSched(s int) {
 			continue
 		}
 		out := &node.out[j]
-		down := n.voqDown(out)
+		down := n.occView(out)
 		for k := 0; k < P; k++ {
 			i := (out.rr[arbtable.MgmtVL] + k) % P
 			if inFree&(1<<i) == 0 || v.nonEmpty[i][j]&(1<<arbtable.MgmtVL) == 0 {
 				continue
 			}
 			pkt := v.q[i][j][arbtable.MgmtVL].front()
-			if down != nil && down.occ[arbtable.MgmtVL]+pkt.Wire > capacity {
+			if down != nil && down[arbtable.MgmtVL]+pkt.Wire > capacity {
 				continue
 			}
 			v.voqPop(i, j, arbtable.MgmtVL)
 			out.rr[arbtable.MgmtVL] = (i + 1) % P
 			inFree &^= 1 << i
 			outFree &^= 1 << j
-			n.voqTransmit(node, out, pkt, i, arbtable.MgmtVL, now)
+			sh.voqTransmit(node, out, pkt, i, arbtable.MgmtVL, now)
 			break
 		}
 	}
 
 	// Request matrix over the data VLs.
-	var req [P]uint8
+	var req [P]uint16
 	backlogged := 0
 	for i := 0; i < P; i++ {
 		if inFree&(1<<i) == 0 {
@@ -433,7 +443,7 @@ func (n *Network) voqSched(s int) {
 			if outFree&(1<<j) == 0 || v.nonEmpty[i][j]&^(1<<arbtable.MgmtVL) == 0 {
 				continue
 			}
-			if n.voqEligible(node, n.voqDown(&node.out[j]), i, j, capacity) {
+			if n.voqEligible(node, n.occView(&node.out[j]), i, j, capacity) {
 				req[i] |= 1 << j
 			}
 		}
@@ -451,17 +461,17 @@ func (n *Network) voqSched(s int) {
 		for i := 0; i < P; i++ {
 			for j := 0; j < P; j++ {
 				if req[i]&(1<<j) != 0 {
-					n.mwm.w[i][j] = v.voqOccupancy(i, j)
+					sh.mwm.w[i][j] = v.voqOccupancy(i, j)
 				} else {
-					n.mwm.w[i][j] = 0
+					sh.mwm.w[i][j] = 0
 				}
 			}
 		}
-		size, _ = n.mwm.match(&n.mwm.w, match)
+		size, _ = sh.mwm.match(&sh.mwm.w, match)
 	} else {
 		size = v.islip.Match(&req, n.islipIters, match)
 	}
-	if m := n.Metrics; m != nil {
+	if m := sh.metrics; m != nil {
 		m.CountVOQPass(size, backlogged)
 	}
 	if n.OnMatch != nil {
@@ -470,7 +480,7 @@ func (n *Network) voqSched(s int) {
 
 	for j := 0; j < P; j++ {
 		if match[j] >= 0 {
-			n.voqServe(node, int(match[j]), j, capacity, now)
+			sh.voqServe(node, int(match[j]), j, capacity, now)
 		}
 	}
 }
@@ -479,10 +489,11 @@ func (n *Network) voqSched(s int) {
 // j): the output port's arbitration table picks the lane among the
 // pair's eligible VOQ heads, preserving the table-driven QoS of the
 // paper across the crossbar.
-func (n *Network) voqServe(node *swNode, i, j, capacity int, now int64) {
+func (sh *shard) voqServe(node *swNode, i, j, capacity int, now int64) {
+	n := sh.n
 	v := node.voq
 	out := &node.out[j]
-	down := n.voqDown(out)
+	down := n.occView(out)
 
 	// Candidates indexed by outgoing wire VL, exactly like the WRR
 	// model's trySwitch: multi-plane engines may shift a packet into
@@ -504,7 +515,7 @@ func (n *Network) voqServe(node *swNode, i, j, capacity int, now int64) {
 				continue // lane claimed by an earlier input VL
 			}
 		}
-		if down != nil && down.occ[outvl]+pkt.Wire > capacity {
+		if down != nil && down[outvl]+pkt.Wire > capacity {
 			continue
 		}
 		ready[outvl] = pkt.Wire
@@ -520,14 +531,14 @@ func (n *Network) voqServe(node *swNode, i, j, capacity int, now int64) {
 	invl := int(srcVL[vl])
 	pkt := v.voqPop(i, j, invl)
 	pkt.VL = uint8(vl)
-	if m := n.Metrics; m != nil {
+	if m := sh.metrics; m != nil {
 		m.AddVLBytes(vl, pkt.Wire)
 		m.ObserveVOQDepth(int64(v.q[i][j][invl].len()))
 	}
-	if t := n.Engine.Trace; t != nil {
+	if t := sh.eng.Trace; t != nil {
 		lp := out.arb.Last()
 		t.Record(metrics.TraceEvent{
-			Time: now, Port: SwitchTraceID(node.id, j), VL: uint8(vl),
+			Time: now, Port: n.switchTraceID(node.id, j), VL: uint8(vl),
 			High: lp.High, Entry: int16(lp.Entry), WeightLeft: int32(lp.Residual),
 		})
 	}
@@ -537,20 +548,20 @@ func (n *Network) voqServe(node *swNode, i, j, capacity int, now int64) {
 	if n.OnForward != nil {
 		n.OnForward(pkt, node.id, j)
 	}
-	n.voqTransmit(node, out, pkt, i, invl, now)
+	sh.voqTransmit(node, out, pkt, i, invl, now)
 }
 
 // voqTransmit occupies input i's crossbar slot for the transfer and
 // hands the packet to the shared transmit path (which reserves
 // downstream credit on pkt.VL and returns the source credit on srcVL
 // at completion, exactly as the WRR model does).
-func (n *Network) voqTransmit(node *swNode, out *outPort, pkt *Packet, i, srcVL int, now int64) {
+func (sh *shard) voqTransmit(node *swNode, out *outPort, pkt *Packet, i, srcVL int, now int64) {
 	in := &node.in[i]
-	xfer := int64(pkt.Wire) / int64(n.Cfg.CrossbarSpeedup)
+	xfer := int64(pkt.Wire) / int64(sh.n.Cfg.CrossbarSpeedup)
 	if xfer < 1 {
 		xfer = 1
 	}
 	in.busyUntil = now + xfer
-	n.Engine.Post(now+xfer, n, sim.Event{Kind: evInputFree, A: int32(node.id), B: int32(i)})
-	n.transmit(out, pkt, switchCode(node.id, i), uint8(srcVL))
+	sh.eng.Post(now+xfer, sh, sim.Event{Kind: evInputFree, A: int32(node.id), B: int32(i)})
+	sh.transmit(out, pkt, switchCode(node.id, i), uint8(srcVL))
 }

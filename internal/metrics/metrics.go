@@ -173,6 +173,20 @@ func (h *Hist) Observe(v int64) {
 	}
 }
 
+// Add accumulates o into h bucket-wise: counts, totals and N add, the
+// maxima take the maximum.  Integer-only, so merging per-shard
+// histograms loses nothing.
+func (h *Hist) Add(o *Hist) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
 // Mean returns the mean observation (0 when empty).
 func (h *Hist) Mean() float64 {
 	if h == nil || h.N == 0 {
@@ -267,6 +281,30 @@ func (m *Metrics) CountDelivery(missed bool) {
 	if missed {
 		m.DeadlineMisses++
 	}
+}
+
+// Merge accumulates src into m.  Every counter is an integer (sums
+// add, high-water marks take the maximum), so merging the per-shard
+// counter sets of a sharded run is exact: the merged Metrics is
+// indistinguishable from one that observed every event itself.
+func (m *Metrics) Merge(src *Metrics) {
+	if m == nil || src == nil {
+		return
+	}
+	m.Arb.Picks += src.Arb.Picks
+	m.Arb.EntriesVisited += src.Arb.EntriesVisited
+	m.Arb.Stalls += src.Arb.Stalls
+	for vl := range m.VL {
+		m.VL[vl].Bytes += src.VL[vl].Bytes
+		m.VL[vl].Packets += src.VL[vl].Packets
+	}
+	m.Control.Add(src.Control)
+	m.QueueDepth.Add(&src.QueueDepth)
+	m.VOQ.Add(src.VOQ)
+	m.MatchSize.Add(&src.MatchSize)
+	m.VOQDepth.Add(&src.VOQDepth)
+	m.DeadlineMisses += src.DeadlineMisses
+	m.Deliveries += src.Deliveries
 }
 
 // VLSnapshot is the exported form of one lane's traffic counters.

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math"
+	"sync"
+)
+
+// Coordinator advances a set of engines — one per topology shard — in
+// conservative-lookahead windows.  The protocol is the classic
+// null-message-free conservative synchronization:
+//
+//  1. Flush: exchange the boundary events produced by the previous
+//     window (cross-shard packet arrivals and credit returns), posted
+//     into the target engines while every engine is quiescent.
+//  2. T := min over engines of NextTime() — the earliest pending work
+//     anywhere in the fabric.
+//  3. Window: every engine runs in parallel up to W = T+Lookahead-1.
+//     Lookahead is the minimum latency any event executed in the
+//     window needs before it can affect another shard (link latency
+//     plus the smallest packet wire time), so no event executed at or
+//     before W can schedule cross-shard work at or before W: shards
+//     cannot causally interact inside the window, and running them
+//     concurrently is exact.
+//  4. Barrier, then repeat.
+//
+// All engines share one clock value at every barrier (Engine.Run
+// advances the clock to the horizon even when idle), so observers
+// reading between windows see a consistent fabric-wide time.
+type Coordinator struct {
+	// Engines are the per-shard event engines, index = shard id.
+	Engines []*Engine
+
+	// Lookahead is the window width in byte times (>= 1): a lower
+	// bound on the delay between an event executing on one shard and
+	// the earliest cross-shard event it can cause.
+	Lookahead int64
+
+	// Flush, when non-nil, runs at every barrier while all engines
+	// are quiescent.  The fabric uses it to drain per-shard outboxes:
+	// posting buffered cross-shard arrivals into the target engines
+	// and applying batched credit returns.
+	Flush func()
+
+	// Windows counts completed barrier-to-barrier windows.
+	Windows uint64
+}
+
+// minNext returns the earliest pending event time across all engines,
+// or math.MaxInt64 when every engine is idle.
+func (c *Coordinator) minNext() int64 {
+	t := int64(math.MaxInt64)
+	for _, e := range c.Engines {
+		if nt := e.NextTime(); nt < t {
+			t = nt
+		}
+	}
+	return t
+}
+
+// Run executes all engines up to and including until; every engine's
+// clock ends at until (mirroring Engine.Run).
+func (c *Coordinator) Run(until int64) { c.run(until, nil) }
+
+// RunWhile executes windows while cond() holds.  The condition is
+// evaluated at every barrier — not before every event as in
+// Engine.RunWhile — so the run can overshoot by at most one window
+// past the condition turning false.  Returns when cond() is false or
+// every engine is idle.
+func (c *Coordinator) RunWhile(cond func() bool) { c.run(math.MaxInt64, cond) }
+
+func (c *Coordinator) run(until int64, cond func() bool) {
+	lookahead := c.Lookahead
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	for {
+		if c.Flush != nil {
+			c.Flush()
+		}
+		if cond != nil && !cond() {
+			return
+		}
+		t := c.minNext()
+		if t == math.MaxInt64 || t > until {
+			// Nothing left at or before until: advance every clock to
+			// the horizon and stop.  No events execute, so no new
+			// boundary events can be produced past the Flush above.
+			if until < math.MaxInt64 {
+				for _, e := range c.Engines {
+					e.Run(until)
+				}
+			}
+			return
+		}
+		w := t + lookahead - 1
+		if w > until || w < t { // w < t: overflow guard
+			w = until
+		}
+		if len(c.Engines) == 1 {
+			c.Engines[0].Run(w)
+		} else {
+			// Fork only the shards with work inside the window; an idle
+			// engine's Run just advances its clock, which is cheaper done
+			// inline than on a goroutine.
+			var wg sync.WaitGroup
+			for _, e := range c.Engines {
+				if e.NextTime() > w {
+					e.Run(w)
+					continue
+				}
+				wg.Add(1)
+				go func(e *Engine) {
+					defer wg.Done()
+					e.Run(w)
+				}(e)
+			}
+			wg.Wait()
+		}
+		c.Windows++
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// pingShard is a minimal two-shard model for the coordinator tests:
+// each handled event records its timestamp and posts a reply into the
+// OTHER shard's outbox at now+latency; the flush callback drains both
+// outboxes into the target engines, mimicking the fabric's boundary
+// protocol.
+type pingShard struct {
+	eng    *Engine
+	peer   *pingShard
+	seen   []int64
+	outbox []int64 // reply times destined for the peer
+	hops   int     // remaining hops to schedule
+}
+
+func (s *pingShard) HandleEvent(ev Event) {
+	s.seen = append(s.seen, s.eng.Now())
+	if s.hops > 0 {
+		s.hops--
+		s.outbox = append(s.outbox, s.eng.Now()+ev.N)
+	}
+}
+
+func flushPair(a, b *pingShard) func() {
+	lat := int64(0)
+	_ = lat
+	return func() {
+		for _, at := range a.outbox {
+			b.eng.Post(at, b, Event{N: 10})
+		}
+		a.outbox = a.outbox[:0]
+		for _, at := range b.outbox {
+			a.eng.Post(at, a, Event{N: 10})
+		}
+		b.outbox = b.outbox[:0]
+	}
+}
+
+// TestCoordinatorPingPong: two shards exchanging events through the
+// flush callback see every event exactly once, in order, and both
+// clocks end at the horizon.
+func TestCoordinatorPingPong(t *testing.T) {
+	a := &pingShard{eng: &Engine{}, hops: 25}
+	b := &pingShard{eng: &Engine{}, hops: 25}
+	a.peer, b.peer = b, a
+	a.eng.Post(0, a, Event{N: 10}) // each hop adds 10 byte times
+	c := &Coordinator{
+		Engines:   []*Engine{a.eng, b.eng},
+		Lookahead: 10,
+		Flush:     flushPair(a, b),
+	}
+	c.Run(1000)
+	if a.eng.Now() != 1000 || b.eng.Now() != 1000 {
+		t.Fatalf("clocks %d, %d; want 1000, 1000", a.eng.Now(), b.eng.Now())
+	}
+	// 51 events total (the seed plus 50 hops), alternating shards,
+	// 10 byte times apart: a sees 0, 20, 40, ...; b sees 10, 30, ...
+	if len(a.seen)+len(b.seen) != 51 {
+		t.Fatalf("saw %d+%d events, want 51", len(a.seen), len(b.seen))
+	}
+	for i, at := range a.seen {
+		if want := int64(20 * i); at != want {
+			t.Fatalf("shard a event %d at %d, want %d", i, at, want)
+		}
+	}
+	for i, at := range b.seen {
+		if want := int64(10 + 20*i); at != want {
+			t.Fatalf("shard b event %d at %d, want %d", i, at, want)
+		}
+	}
+	if c.Windows == 0 {
+		t.Fatal("no windows recorded")
+	}
+}
+
+// TestCoordinatorIdleTerminates: engines with no work advance straight
+// to the horizon in one pass, and an unbounded RunWhile on idle
+// engines returns instead of spinning.
+func TestCoordinatorIdleTerminates(t *testing.T) {
+	a, b := &Engine{}, &Engine{}
+	c := &Coordinator{Engines: []*Engine{a, b}, Lookahead: 100}
+	c.Run(5000)
+	if a.Now() != 5000 || b.Now() != 5000 {
+		t.Fatalf("clocks %d, %d; want 5000", a.Now(), b.Now())
+	}
+	if c.Windows != 0 {
+		t.Fatalf("%d windows on an idle fabric, want 0", c.Windows)
+	}
+	done := make(chan struct{})
+	go func() {
+		c.RunWhile(func() bool { return true })
+		close(done)
+	}()
+	<-done // must return: all engines idle
+}
+
+// TestCoordinatorRunWhileStopsAtBarrier: the condition is only
+// evaluated at barriers, so the run stops at the first barrier after
+// the condition turns false, with all clocks equal.
+func TestCoordinatorRunWhileStopsAtBarrier(t *testing.T) {
+	a := &pingShard{eng: &Engine{}, hops: 1000}
+	b := &pingShard{eng: &Engine{}, hops: 1000}
+	a.eng.Post(0, a, Event{N: 10})
+	c := &Coordinator{
+		Engines:   []*Engine{a.eng, b.eng},
+		Lookahead: 10,
+		Flush:     flushPair(a, b),
+	}
+	c.RunWhile(func() bool { return len(a.seen)+len(b.seen) < 20 })
+	total := len(a.seen) + len(b.seen)
+	if total < 20 {
+		t.Fatalf("stopped with %d events, want >= 20", total)
+	}
+	// One window is one lookahead; the overshoot past the condition is
+	// bounded by the events of a single window.
+	if total > 22 {
+		t.Fatalf("overshot to %d events, want barrier-bounded (<= 22)", total)
+	}
+	if a.eng.Now() != b.eng.Now() {
+		t.Fatalf("clocks diverged: %d vs %d", a.eng.Now(), b.eng.Now())
+	}
+}
+
+// TestCoordinatorFlushOrdering: boundary events posted by the flush
+// callback before a window are visible to minNext, so a cross-shard
+// event earlier than any native event still defines the next window.
+func TestCoordinatorFlushOrdering(t *testing.T) {
+	a := &pingShard{eng: &Engine{}}
+	b := &pingShard{eng: &Engine{}}
+	b.eng.Post(500, b, Event{})
+	posted := false
+	c := &Coordinator{
+		Engines:   []*Engine{a.eng, b.eng},
+		Lookahead: 50,
+		Flush: func() {
+			if !posted {
+				posted = true
+				a.eng.Post(100, a, Event{})
+			}
+		},
+	}
+	c.Run(1000)
+	if len(a.seen) != 1 || a.seen[0] != 100 {
+		t.Fatalf("flushed event seen at %v, want [100]", a.seen)
+	}
+	if len(b.seen) != 1 || b.seen[0] != 500 {
+		t.Fatalf("native event seen at %v, want [500]", b.seen)
+	}
+}
+
+// TestCoordinatorLookaheadWindows: the window count matches the
+// ceiling the protocol implies — one window per lookahead-spaced
+// cluster of work, not one per event.
+func TestCoordinatorLookaheadWindows(t *testing.T) {
+	a := &pingShard{eng: &Engine{}}
+	b := &pingShard{eng: &Engine{}}
+	// Ten events at 0..9 on each shard: all inside one lookahead
+	// window, so exactly one window should execute them all.
+	for i := int64(0); i < 10; i++ {
+		a.eng.Post(i, a, Event{})
+		b.eng.Post(i, b, Event{})
+	}
+	c := &Coordinator{Engines: []*Engine{a.eng, b.eng}, Lookahead: 100}
+	c.Run(math.MaxInt64 - 1)
+	if c.Windows != 1 {
+		t.Fatalf("%d windows for one lookahead-sized cluster, want 1", c.Windows)
+	}
+	if len(a.seen) != 10 || len(b.seen) != 10 {
+		t.Fatalf("saw %d+%d events, want 10+10", len(a.seen), len(b.seen))
+	}
+}

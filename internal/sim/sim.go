@@ -24,6 +24,8 @@
 package sim
 
 import (
+	"math"
+
 	"repro/internal/metrics"
 )
 
@@ -125,6 +127,20 @@ func (e *Engine) Now() int64 { return e.now }
 // Executed returns the number of events processed so far.
 func (e *Engine) Executed() uint64 { return e.count }
 
+// NextTime returns the timestamp of the earliest pending work — Now()
+// when same-instant deferred work is queued — or math.MaxInt64 when
+// the engine is idle.  The shard coordinator computes its safe
+// execution horizon from the minimum across engines.
+func (e *Engine) NextTime() int64 {
+	if len(e.deferred) > 0 {
+		return e.now
+	}
+	if len(e.heap) == 0 {
+		return math.MaxInt64
+	}
+	return e.records[e.heap[0]].at
+}
+
 // Pending returns the number of scheduled, unexecuted heap events
 // (deferred same-instant work is not counted, matching Step's notion
 // of "the queue").
@@ -144,6 +160,11 @@ func (e *Engine) Grow(n int) {
 		e.heap = h
 	}
 }
+
+// RecordCapacity returns the capacity of the event-record slab.  A
+// simulation sized in advance via Grow must finish with the capacity
+// it started with; the preallocation regression tests pin that here.
+func (e *Engine) RecordCapacity() int { return cap(e.records) }
 
 // Stats exports the engine's event-pool and heap-depth counters.
 func (e *Engine) Stats() metrics.EngineCounters {

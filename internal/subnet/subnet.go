@@ -131,7 +131,7 @@ func (m *Manager) Discover() (Costs, error) {
 		it := queue[0]
 		queue = queue[1:]
 		if err := probeNode(mad.NodeInfo{
-			NodeType: mad.NodeTypeSwitch, NumPorts: topology.SwitchPorts,
+			NodeType: mad.NodeTypeSwitch, NumPorts: uint8(m.Topo.Ports()),
 			GUID: uint64(it.sw) + 1, LID: uint16(it.sw) + 1,
 		}, it.depth); err != nil {
 			return c, err

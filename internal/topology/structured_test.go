@@ -50,8 +50,24 @@ func TestFatTreeShape(t *testing.T) {
 	if _, err := topology.GenerateFatTree(3); err == nil {
 		t.Error("odd arity accepted")
 	}
-	if _, err := topology.GenerateFatTree(10); err == nil {
+	if _, err := topology.GenerateFatTree(18); err == nil {
 		t.Error("arity beyond the radix accepted")
+	}
+	// k in (8, 16] wires ports beyond the 8-port radix, so the
+	// topology must report the full-radix port count.
+	big, err := topology.GenerateFatTree(16)
+	if err != nil {
+		t.Fatalf("k=16: %v", err)
+	}
+	if got := big.Ports(); got != topology.SwitchPorts {
+		t.Errorf("k=16 fat-tree radix %d, want %d", got, topology.SwitchPorts)
+	}
+	small, err := topology.GenerateFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Ports(); got != topology.IrregularPorts {
+		t.Errorf("k=4 fat-tree radix %d, want %d", got, topology.IrregularPorts)
 	}
 }
 
@@ -106,7 +122,7 @@ func TestDragonflyShape(t *testing.T) {
 			}
 		}
 	}
-	if _, err := topology.GenerateDragonfly(8, 1, 1); err == nil {
+	if _, err := topology.GenerateDragonfly(16, 1, 1); err == nil {
 		t.Error("dragonfly beyond the radix accepted")
 	}
 	if _, err := topology.GenerateDragonfly(0, 1, 1); err == nil {

@@ -19,9 +19,17 @@ import (
 )
 
 const (
-	// SwitchPorts is the number of ports per switch — the radix cap
-	// every generator must fit into.
-	SwitchPorts = 8
+	// SwitchPorts is the maximum number of ports per switch — the
+	// radix cap every generator must fit into and the size of every
+	// per-port array.  A topology that wires only low ports reports
+	// the smaller radix through Ports().
+	SwitchPorts = 16
+	// IrregularPorts is the radix of the paper's irregular-class
+	// switches (section 4.1 uses 8-port switches).  The irregular
+	// generator never wires a port at or above it, which keeps its
+	// rng draw sequence — and therefore every generated topology —
+	// identical to the 8-port original.
+	IrregularPorts = 8
 	// HostsPerSwitch is the number of host ports per switch in the
 	// IRREGULAR class (ports 0..HostsPerSwitch-1).  Structured classes
 	// place hosts per their own layout; use HostAt/SwitchHosts instead
@@ -29,7 +37,7 @@ const (
 	HostsPerSwitch = 4
 	// InterPorts is the number of switch-to-switch ports of an
 	// irregular-class switch.
-	InterPorts = SwitchPorts - HostsPerSwitch
+	InterPorts = IrregularPorts - HostsPerSwitch
 )
 
 // End identifies one side of a switch-to-switch link.
@@ -54,6 +62,30 @@ type Topology struct {
 	hostOf [][SwitchPorts]int
 	// hostLoc[h] is the (switch, port) host h is attached to.
 	hostLoc []End
+
+	// maxPort is the highest port index carrying a host or link, -1
+	// when nothing is wired yet.  Ports() rounds it up to a radix.
+	maxPort int
+}
+
+// Ports returns the switch radix of this topology: IrregularPorts when
+// every wired port fits the paper's 8-port switches (every pre-existing
+// shape does), SwitchPorts otherwise.  Radix-dependent consumers —
+// trace-ID strides, subnet-management port scans, matching scratch
+// sizing — key off this so small fabrics keep their 8-port behavior
+// bit-for-bit while large structured shapes get the full radix.
+func (t *Topology) Ports() int {
+	if t.maxPort < IrregularPorts {
+		return IrregularPorts
+	}
+	return SwitchPorts
+}
+
+// notePort records a wired port for the Ports() high-water mark.
+func (t *Topology) notePort(p int) {
+	if p > t.maxPort {
+		t.maxPort = p
+	}
 }
 
 // NewManual returns an empty topology with the given number of
@@ -65,6 +97,7 @@ func NewManual(numSwitches int) *Topology {
 		Spec:        Spec{Class: Irregular, Switches: numSwitches},
 		peer:        make([][SwitchPorts]End, numSwitches),
 		hostOf:      make([][SwitchPorts]int, numSwitches),
+		maxPort:     -1,
 	}
 	for s := 0; s < numSwitches; s++ {
 		for p := 0; p < SwitchPorts; p++ {
@@ -87,6 +120,7 @@ func (t *Topology) AttachHost(sw, port int) (int, error) {
 	h := len(t.hostLoc)
 	t.hostOf[sw][port] = h
 	t.hostLoc = append(t.hostLoc, End{Switch: sw, Port: port})
+	t.notePort(port)
 	return h, nil
 }
 
@@ -169,12 +203,16 @@ func (t *Topology) Neighbors(sw int) []End {
 func (t *Topology) connect(a, pa, b, pb int) {
 	t.peer[a][pa] = End{Switch: b, Port: pb}
 	t.peer[b][pb] = End{Switch: a, Port: pa}
+	t.notePort(pa)
+	t.notePort(pb)
 }
 
-// freePort returns the lowest unused port of sw (no host, no link), or
-// -1.
+// freePort returns the lowest unused port of sw (no host, no link)
+// below the irregular radix, or -1.  Only the irregular generator uses
+// it, and capping the scan at IrregularPorts keeps that generator's
+// wiring identical to the 8-port original.
 func (t *Topology) freePort(sw int) int {
-	for p := 0; p < SwitchPorts; p++ {
+	for p := 0; p < IrregularPorts; p++ {
 		if t.hostOf[sw][p] < 0 && t.peer[sw][p].Switch < 0 {
 			return p
 		}
@@ -350,6 +388,7 @@ func (t *Topology) Clone() *Topology {
 		peer:        make([][SwitchPorts]End, t.NumSwitches),
 		hostOf:      make([][SwitchPorts]int, t.NumSwitches),
 		hostLoc:     make([]End, len(t.hostLoc)),
+		maxPort:     t.maxPort,
 	}
 	copy(c.peer, t.peer)
 	copy(c.hostOf, t.hostOf)

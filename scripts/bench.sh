@@ -1,24 +1,35 @@
 #!/usr/bin/env bash
-# bench.sh — hot-path benchmark harness.
+# bench.sh — performance benchmark harness.
 #
-# Runs the data-plane micro-benchmarks (arbiter pick, per-hop packet
-# forwarding, raw engine throughput) with -benchmem and emits
-# BENCH_PR4.json: the pre-refactor baseline (checked in at
-# scripts/bench_baseline_pr4.json) next to the numbers just measured,
-# so the typed-event engine's perf claim — 0 allocs/op on the packet
-# path, >= 20% ns/op over the closure-based engine — is reproducible
-# with one command.
+# Emits BENCH_PR7.json with three sections:
+#
+#   hotpaths    the data-plane micro-benchmarks (arbiter pick, per-hop
+#               forwarding, raw engine throughput) with -benchmem,
+#               next to the checked-in PR4 baseline — the typed-event
+#               engine's perf claim (0 allocs/op on the packet path)
+#               stays reproducible with one command.
+#   shardedCore events/sec of the sharded simulation core on a k=8
+#               fat-tree at high load, -shards 4 vs the single-engine
+#               baseline (ibsim -exp shardbench).  The report's "cpus"
+#               field bounds the achievable speedup at min(shards,
+#               cpus): with >= 4 CPUs the 4-shard row is expected at
+#               >= 2x the single-engine events/sec; on fewer cores the
+#               same rows measure the sync protocol's overhead instead
+#               (expected within ~25% of the single-engine rate).
+#   scaleCheck  a k=16 fat-tree (320 switches, 1024 hosts) run under
+#               -shards 4 — completion is the acceptance signal; the
+#               row records its window and event counts.
 #
 # Usage: scripts/bench.sh [count]
-#   count  benchmark repetitions per name (default 3; the JSON keeps
-#          the minimum ns/op, the least-noisy point estimate)
+#   count  micro-benchmark repetitions per name (default 3; the JSON
+#          keeps the minimum ns/op, the least-noisy point estimate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="BENCH_PR4.json"
+OUT="BENCH_PR7.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+trap 'rm -f "$RAW" "$RAW".*' EXIT
 
 echo "==> go test -bench (hot paths), count=$COUNT" >&2
 go test -run '^$' \
@@ -41,19 +52,37 @@ END {
     for (i = 1; i <= n; i++) {
         name = order[i]
         if (i > 1) printf ","
-        printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        printf "\n      {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
             name, best[name], b[name], a[name]
     }
-    printf "\n  ]"
-}' "$RAW" > "$RAW.current"
+    printf "\n    ]"
+}' "$RAW" > "$RAW.hotpaths"
+
+echo "==> building ibsim" >&2
+go build -o "$RAW.ibsim" ./cmd/ibsim
+
+# The ibsim shardbench output is the human table, a blank line, then
+# one JSON document; keep the JSON.
+extract_json() { sed -n '/^{/,$p'; }
+
+echo "==> sharded-core throughput, k=8 fat-tree, shards 1 vs 4" >&2
+"$RAW.ibsim" -exp shardbench -bench-k 8 -bench-shards 1,4 \
+    | tee /dev/stderr | extract_json > "$RAW.shard8"
+
+echo "==> scale check, k=16 fat-tree (320 switches), shards 4" >&2
+"$RAW.ibsim" -exp shardbench -bench-k 16 -bench-shards 4 -bench-horizon 250000 \
+    | tee /dev/stderr | extract_json > "$RAW.shard16"
 
 BASE="$(cat scripts/bench_baseline_pr4.json)"
 {
     echo '{'
-    echo "  \"baseline\": $BASE,"
-    echo "  \"current\": $(cat "$RAW.current")"
+    echo '  "hotpaths": {'
+    echo "    \"baseline\": $BASE,"
+    echo "    \"current\": $(cat "$RAW.hotpaths")"
+    echo '  },'
+    echo "  \"shardedCore\": $(cat "$RAW.shard8"),"
+    echo "  \"scaleCheck\": $(cat "$RAW.shard16")"
     echo '}'
 } > "$OUT"
-rm -f "$RAW.current"
 
 echo "==> wrote $OUT" >&2

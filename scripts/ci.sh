@@ -51,6 +51,12 @@ echo "==> go test -run Acyclic ./internal/routing/cdg (deadlock-freedom gate)"
 # engines are re-verified acyclic across the seeded shape grid.
 go test -run 'Acyclic' -count=1 ./internal/routing/cdg
 
+echo "==> go test -race -run TestParallelShard ./internal/fabric (sharded-core race gate)"
+# The conservative-lookahead window protocol is only correct if shards
+# share nothing inside a window; the multi-shard smoke under the race
+# detector is the proof obligation (-count=1 so it always re-runs).
+go test -race -run 'TestParallelShard' -count=1 ./internal/fabric
+
 echo "==> go test -run AllocBudget . (zero-alloc hot-path gate)"
 # testing.AllocsPerRun budgets: 0 allocs/op on arbiter pick and on a
 # full per-hop packet forwarding step with metrics disabled.  Must run
@@ -81,5 +87,16 @@ go run ./cmd/ibsim -exp scale -scale tiny >/dev/null
 
 echo "==> ibsim -exp hol -scale tiny (smoke)"
 go run ./cmd/ibsim -exp hol -scale tiny >/dev/null
+
+echo "==> ibsim -shards 4 golden smoke (det mode must match -shards 1)"
+# The deterministic shard mode pins every shard to one engine, so the
+# scale goldens must be byte-identical at any shard count.
+go run ./cmd/ibsim -exp scale -scale tiny -shards 1 -shard-det > /tmp/ci_shards1.out
+go run ./cmd/ibsim -exp scale -scale tiny -shards 4 -shard-det > /tmp/ci_shards4.out
+diff /tmp/ci_shards1.out /tmp/ci_shards4.out
+rm -f /tmp/ci_shards1.out /tmp/ci_shards4.out
+
+echo "==> ibsim -exp shardbench (parallel core smoke)"
+go run ./cmd/ibsim -exp shardbench -bench-shards 1,4 -bench-horizon 200000 >/dev/null
 
 echo "==> ci.sh: all green"
