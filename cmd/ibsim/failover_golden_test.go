@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFailoverJSONGolden pins the -exp failover JSON at the tiny scale
+// (seed 1) against a checked-in golden.  The failure schedules, repair
+// decisions and recovery counters are pure functions of the seed, so
+// any diff is a real behavior or format change; regenerate
+// deliberately with
+//
+//	go test ./cmd/ibsim -run FailoverJSONGolden -update
+func TestFailoverJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	base := experiments.FailoverTiny()
+	res, err := experiments.FailoverSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := emitFailoverJSON(&buf, base, res); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "failover.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("failover JSON diverged from %s (rerun with -update if intended)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+
+	// Worker-count bit-identity: the sweep encodes byte-identically at
+	// any parallelism.
+	par, err := experiments.FailoverSweep(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf4 bytes.Buffer
+	if err := emitFailoverJSON(&buf4, base, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf4.Bytes()) {
+		t.Fatal("failover JSON differs between 1 and 4 sweep workers")
+	}
+}
+
+// TestFailoverJSONShape checks the invariants scripts rely on: every
+// point injected a schedule, repaired it with a CDG proof, and closed
+// its packet accounting.
+func TestFailoverJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run in -short mode")
+	}
+	res, err := experiments.FailoverSweep(experiments.FailoverTiny(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emitFailoverJSON(&buf, experiments.FailoverTiny(), res); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Runs []struct {
+			Schedule string `json:"schedule"`
+			Control  struct {
+				RepairsStarted   int64 `json:"repairsStarted"`
+				RepairsCompleted int64 `json:"repairsCompleted"`
+			} `json:"control"`
+			RepairCDG struct {
+				Channels int `json:"channels"`
+			} `json:"repairCDG"`
+			Injected  int64 `json:"injected"`
+			Delivered int64 `json:"delivered"`
+			Dropped   int64 `json:"dropped"`
+			Lost      int64 `json:"lost"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("sweep has %d runs, want one per topology class", len(rep.Runs))
+	}
+	for i, r := range rep.Runs {
+		if r.Schedule == "" {
+			t.Errorf("run %d: no failure schedule", i)
+		}
+		if r.Control.RepairsCompleted < 2 || r.Control.RepairsStarted != r.Control.RepairsCompleted {
+			t.Errorf("run %d: repairs %d/%d", i, r.Control.RepairsCompleted, r.Control.RepairsStarted)
+		}
+		if r.RepairCDG.Channels == 0 {
+			t.Errorf("run %d: no post-repair CDG proof", i)
+		}
+		if r.Injected != r.Delivered+r.Dropped+r.Lost {
+			t.Errorf("run %d: conservation hole: %d != %d+%d+%d",
+				i, r.Injected, r.Delivered, r.Dropped, r.Lost)
+		}
+	}
+}

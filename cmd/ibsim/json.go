@@ -134,6 +134,26 @@ func emitFaultsJSON(w io.Writer, base experiments.FaultParams, res []experiments
 	})
 }
 
+// failoverReport is the machine-readable form of a live-failure
+// recovery sweep.
+type failoverReport struct {
+	BaseSeed int64                        `json:"baseSeed"`
+	Payload  int                          `json:"payload"`
+	Conns    int                          `json:"conns"`
+	FailAtBT int64                        `json:"failAtBT"`
+	Runs     []experiments.FailoverResult `json:"runs"`
+}
+
+func emitFailoverJSON(w io.Writer, base experiments.FailoverParams, res []experiments.FailoverResult) error {
+	return encodeIndented(w, failoverReport{
+		BaseSeed: base.Seed,
+		Payload:  base.Payload,
+		Conns:    base.Conns,
+		FailAtBT: base.FailAtBT,
+		Runs:     res,
+	})
+}
+
 // scaleReport is the machine-readable form of a structured-fabric
 // scale sweep.
 type scaleReport struct {

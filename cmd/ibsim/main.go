@@ -17,6 +17,8 @@
 //	                                  # dragonfly, irregular) under load
 //	ibsim -exp hol -islip-iters 2     # WRR vs iSLIP vs MWM switch models
 //	                                  # (head-of-line-blocking audit)
+//	ibsim -exp failover -scale tiny   # live link/switch failure with
+//	                                  # verified deadlock-free repair
 package main
 
 import (
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|scale|hol|shardbench|all")
+		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|failover|scale|hol|shardbench|all")
 		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
 		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
 		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
@@ -175,6 +177,21 @@ func main() {
 		experiments.PrintFaults(os.Stdout, res)
 		fmt.Println()
 		if err := emitFaultsJSON(os.Stdout, base, res); err != nil {
+			fatal(err)
+		}
+	case "failover":
+		base := failoverParams(*scale)
+		if *seed != 0 {
+			base.Seed = *seed
+		}
+		base.Shards = *shards
+		res, err := experiments.FailoverSweep(base, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintFailover(os.Stdout, res)
+		fmt.Println()
+		if err := emitFailoverJSON(os.Stdout, base, res); err != nil {
 			fatal(err)
 		}
 	case "scale":
@@ -325,6 +342,15 @@ func churnParams(scale string) experiments.ChurnParams {
 		return experiments.ChurnTiny()
 	}
 	return experiments.ChurnQuick()
+}
+
+// failoverParams maps a scale preset onto the live-failure recovery
+// experiment.
+func failoverParams(scale string) experiments.FailoverParams {
+	if scale == "tiny" {
+		return experiments.FailoverTiny()
+	}
+	return experiments.FailoverQuick()
 }
 
 // faultParams maps a scale preset onto the fault-injection experiment.

@@ -190,6 +190,15 @@ type Controller struct {
 	// ErrHopDown instead of reserving weight the data plane would never
 	// learn about.  Nil means no hop is ever down.
 	Down func(PortID) bool
+
+	// DeadHop, when set, reports whether a port belongs to a failed
+	// topology element (crashed switch, severed link).  Releases of
+	// connections that crossed it skip programming the dead port — its
+	// data plane no longer exists — while still freeing the shadow
+	// reservation so the controller's accounting stays exact.  New
+	// admissions never route through dead elements (the repaired route
+	// set avoids them), so only Release consults this.
+	DeadHop func(PortID) bool
 }
 
 // NewController returns a controller over the given network state.
@@ -215,6 +224,24 @@ func (c *Controller) SetProgrammer(p Programmer) {
 		p = DirectProgrammer{}
 	}
 	c.prog = p
+}
+
+// SetRoutes swaps the forwarding tables the controller paths requests
+// over.  The failure-recovery subsystem calls this when a repaired
+// route set activates; connections admitted earlier keep the hop list
+// they were admitted with, so releases still free the reservations on
+// the old path.
+func (c *Controller) SetRoutes(r *routing.Routes) { c.routes = r }
+
+// Sites returns the arbitration points a live connection reserved, in
+// path order.  Failure recovery compares them against the repaired
+// route set to find displaced connections.
+func (conn *Conn) Sites() []PortID {
+	ids := make([]PortID, len(conn.hops))
+	for i, h := range conn.hops {
+		ids[i] = h.id
+	}
+	return ids
 }
 
 // Ports exposes the port tables (the fabric simulator wires its
@@ -369,10 +396,39 @@ func (c *Controller) Release(conn *Conn) error {
 		}
 	}
 	for _, h := range conn.hops {
+		if c.DeadHop != nil && c.DeadHop(h.id) {
+			continue // shadow freed above; no data plane left to program
+		}
 		c.commitHop(h.id, h.table)
 	}
 	delete(c.live, conn.ID)
 	return nil
+}
+
+// ReprogramStale pushes the pending shadow-vs-active delta of every
+// live, idle port to the data plane.  Releases that crossed a dead
+// port skip its programming (the data plane was gone), so a port
+// returning to service can hold a stale active table with nothing
+// scheduled to heal it; the failure-recovery subsystem calls this
+// after every activation.  Ports with agreeing tables or an in-flight
+// program are untouched, so the call is idempotent.
+func (c *Controller) ReprogramStale() {
+	if c.prog == nil {
+		return
+	}
+	skip := func(id PortID) bool { return c.DeadHop != nil && c.DeadHop(id) }
+	for h, tb := range c.ports.Host {
+		if id := HostPortID(h); !skip(id) {
+			c.commitHop(id, tb)
+		}
+	}
+	for s, row := range c.ports.Switch {
+		for q, tb := range row {
+			if id := SwitchPortID(s, q); !skip(id) {
+				c.commitHop(id, tb)
+			}
+		}
+	}
 }
 
 // FillResult summarizes a Fill run.

@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/routing/cdg"
+	"repro/internal/runner"
+	"repro/internal/sl"
+	"repro/internal/subnet"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// FailoverParams sizes the live-failure experiment: each topology
+// class carries admitted QoS traffic while the run kills one link on a
+// reserved path (revived later) and crashes one host-bearing switch.
+// The recovery subsystem must detect every failure, repair the routes
+// with a fresh channel-dependency-graph proof before activation,
+// reprogram the affected arbitration tables through the in-band
+// programmer, and account for every packet — the point errors out if
+// any of those audits fail.
+type FailoverParams struct {
+	Specs   []topology.Spec
+	Seed    int64
+	Payload int // packet payload bytes
+
+	Conns int // QoS admission attempts per point
+	Retry admission.RetryPolicy
+
+	FailAtBT  int64 // first failure time; the link revives at 3x, the switch crashes at 2x
+	HorizonBT int64 // run length; must clear the last detection window
+	PollBT    int64 // failure-detection poll period
+	TimeoutBT int64 // blocked time before a port is declared dead
+
+	// Shards is accepted so the determinism regression can sweep shard
+	// counts; recovery requires the single-engine deterministic mode,
+	// which this experiment always forces.
+	Shards int
+}
+
+// FailoverTiny is the unit-test and golden-file scale: the smallest
+// failure-worthy member of each topology class.
+func FailoverTiny() FailoverParams {
+	return FailoverParams{
+		Specs: []topology.Spec{
+			{Class: topology.Irregular, Switches: 6, Seed: 42},
+			{Class: topology.FatTree, K: 4},
+			{Class: topology.Dragonfly, A: 2, P: 1, H: 1},
+		},
+		Seed:      1,
+		Payload:   256,
+		Conns:     12,
+		Retry:     admission.DefaultRetryPolicy(),
+		FailAtBT:  100_000,
+		HorizonBT: 450_000,
+		PollBT:    1024,
+		TimeoutBT: 8192,
+	}
+}
+
+// FailoverQuick is the CLI default: mid-size instances of each class.
+func FailoverQuick() FailoverParams {
+	p := FailoverTiny()
+	p.Specs = []topology.Spec{
+		{Class: topology.Irregular, Switches: 10, Seed: 42},
+		{Class: topology.FatTree, K: 4},
+		{Class: topology.Dragonfly, A: 4, P: 2, H: 2},
+	}
+	p.Conns = 24
+	return p
+}
+
+// FailoverResult is the outcome of one topology point.  Every field is
+// a pure function of the point's parameters and seed, so equal inputs
+// give byte-identical JSON at any worker count.
+type FailoverResult struct {
+	Class    string `json:"class"`
+	Label    string `json:"label"`
+	Switches int    `json:"switches"`
+	Hosts    int    `json:"hosts"`
+	Seed     int64  `json:"seed"`
+
+	// Schedule is the injected failure schedule in its text encoding;
+	// the run round-trips it through ParseFailureSchedule before
+	// applying, so the decoder sits on the real path.
+	Schedule string `json:"schedule"`
+
+	Attempts int `json:"attempts"`
+	Admitted int `json:"admitted"`
+
+	// BaseCDG proves the pristine tables deadlock-free; RepairCDG
+	// re-proves the active tables over the degraded topology after the
+	// last activation.
+	BaseCDG   cdg.Stats            `json:"baseCDG"`
+	RepairCDG cdg.Stats            `json:"repairCDG"`
+	Repair    routing.RepairReport `json:"repair"` // last activation's report
+
+	DetectedKeys int64 `json:"detectedKeys"`
+	DeadHosts    int   `json:"deadHosts"`
+	StoppedConns int   `json:"stoppedConns"`
+	Readmitted   int64 `json:"readmitted"`
+
+	// Control carries the shared control-plane counters: SMP traffic of
+	// the in-band reprogramming plus the recovery subsystem's repair,
+	// drain and displacement counts.
+	Control     metrics.ControlCounters `json:"control"`
+	ProgramMADs int                     `json:"programMADs"`
+
+	Injected  int64 `json:"injected"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	Lost      int64 `json:"lost"`
+
+	EndTimeBT int64 `json:"endTimeBT"`
+}
+
+// FailoverPoint runs one topology point of the failover experiment.
+func FailoverPoint(p FailoverParams, spec topology.Spec, seed int64) (FailoverResult, error) {
+	var res FailoverResult
+	if p.Conns < 3 || p.Payload < 1 || p.FailAtBT < 1 || p.PollBT < 1 || p.TimeoutBT < 1 {
+		return res, fmt.Errorf("experiments: failover point %v out of range", spec)
+	}
+	if p.HorizonBT <= 3*p.FailAtBT+p.TimeoutBT+2*p.PollBT {
+		return res, fmt.Errorf("experiments: failover horizon %d inside the last detection window", p.HorizonBT)
+	}
+	topo, err := spec.Generate()
+	if err != nil {
+		return res, err
+	}
+	cfg := fabric.DefaultConfig(topo.NumSwitches, p.Payload, seed)
+	cfg.Shards = p.Shards
+	cfg.ShardDeterministic = true // recovery mutates routes mid-run; one engine
+	cfg.FailoverEscape = true
+	net, err := fabric.NewWithTopology(cfg, topo)
+	if err != nil {
+		return res, err
+	}
+	net.EnableMetrics()
+
+	res.Class = spec.Class.String()
+	res.Label = spec.Label()
+	res.Switches = topo.NumSwitches
+	res.Hosts = topo.NumHosts()
+	res.Seed = seed
+
+	if res.BaseCDG, err = cdg.Verify(topo, net.Routes); err != nil {
+		return res, err
+	}
+
+	// Table changes — admissions, displacement releases, re-admissions —
+	// travel in-band through the reliable programmer, against the same
+	// fault injector the failure windows live in.
+	m := subnet.NewManager(net.Topo)
+	m.Routes = net.Routes
+	prog := subnet.NewInbandProgrammer(net.Engine, m)
+	prog.Retry = subnet.DefaultRetryProfile()
+	prog.Counters = &net.Metrics.Control
+	net.Adm.SetProgrammer(prog)
+
+	rcfg := fabric.DefaultRecoveryConfig()
+	rcfg.PollBT, rcfg.TimeoutBT = p.PollBT, p.TimeoutBT
+	rcfg.Retry = p.Retry
+	rcfg.Counters = &net.Metrics.Control
+	rcfg.OnSwap = func(_, next *routing.Routes, rep routing.RepairReport) {
+		m.Routes = next // the subnet manager steers SMPs over the repaired routes
+		res.Repair = rep
+	}
+	rec, err := net.EnableRecovery(rcfg)
+	if err != nil {
+		return res, err
+	}
+	prog.Faults = net.Faults
+
+	// QoS admissions, spread out in time so in-flight table programs
+	// do not reject their successors.
+	src := traffic.NewSource(sl.DefaultLevels, topo.NumHosts(), seed+1)
+	eng := net.Engine
+	var flows []*fabric.Flow
+	for i := 0; i < p.Conns; i++ {
+		req := src.Next()
+		eng.At(int64(i)*277+1, func() {
+			res.Attempts++
+			net.Adm.AdmitWithRetry(eng, req, p.Retry, func(conn *admission.Conn, err error) {
+				if err != nil {
+					return // rejection under load is legitimate
+				}
+				res.Admitted++
+				f := net.AddConnection(conn)
+				net.StartFlow(f)
+				rec.Track(conn, f)
+				flows = append(flows, f)
+			})
+		})
+	}
+
+	// Draw the failure schedule once traffic is established, encode it
+	// to text and apply the re-parsed form.
+	var runErr error
+	eng.At(p.FailAtBT/2, func() {
+		if len(flows) < 3 {
+			runErr = fmt.Errorf("failover %s: only %d connections admitted", res.Label, len(flows))
+			return
+		}
+		sched, err := drawFailoverSchedule(net, flows, p, seed)
+		if err != nil {
+			runErr = fmt.Errorf("failover %s: %w", res.Label, err)
+			return
+		}
+		res.Schedule = sched.String()
+		parsed, err := faults.ParseFailureSchedule(res.Schedule)
+		if err != nil {
+			runErr = fmt.Errorf("failover %s: schedule did not round-trip: %w", res.Label, err)
+			return
+		}
+		if err := rec.ApplySchedule(parsed); err != nil {
+			runErr = fmt.Errorf("failover %s: %w", res.Label, err)
+		}
+	})
+
+	net.Run(p.HorizonBT)
+	if runErr != nil {
+		return res, runErr
+	}
+	if err := rec.Err(); err != nil {
+		return res, fmt.Errorf("failover %s: %w", res.Label, err)
+	}
+	c := rec.Counters()
+	if c.RepairsStarted != c.RepairsCompleted || c.RepairsCompleted < 2 {
+		return res, fmt.Errorf("failover %s: repairs started %d completed %d, want >= 2 completed",
+			res.Label, c.RepairsStarted, c.RepairsCompleted)
+	}
+
+	// Drain: stop generation and run until nothing is queued and no
+	// re-admission is still in flight (the cap turns a defect into an
+	// error instead of a hang).
+	net.StopGeneration()
+	deadline := net.Now() + 1<<26
+	net.RunWhile(func() bool {
+		return (net.QueuedPackets() > 0 || rec.PendingReadmits() > 0) && net.Now() < deadline
+	})
+	if q := net.QueuedPackets(); q != 0 {
+		return res, fmt.Errorf("failover %s: %d packets stuck after drain", res.Label, q)
+	}
+
+	// Release every surviving reservation and run the engine dry so the
+	// last table programs land.
+	conns, cflows := rec.Survivors()
+	res.StoppedConns = res.Admitted - len(conns)
+	released := 0
+	for i := range conns {
+		net.ReleaseConnection(conns[i], cflows[i], func() { released++ })
+	}
+	net.RunWhile(func() bool { return true })
+	if released != len(conns) {
+		return res, fmt.Errorf("failover %s: released %d of %d survivors", res.Label, released, len(conns))
+	}
+	if live := net.Adm.Live(); live != 0 {
+		return res, fmt.Errorf("failover %s: %d connections still live after release", res.Label, live)
+	}
+	if open := prog.OpenTransactions(); open != 0 {
+		return res, fmt.Errorf("failover %s: %d table transactions never terminated", res.Label, open)
+	}
+
+	// Convergence and distance-guarantee audit: every port idle with
+	// active == shadow, every surviving sequence within its stride.
+	if err := net.Adm.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("failover %s: %w", res.Label, err)
+	}
+	ports := net.Adm.Ports()
+	auditPort := func(id admission.PortID, tb *core.PortTable) error {
+		if net.Adm.DeadHop != nil && net.Adm.DeadHop(id) {
+			return nil // dead ports can never be reprogrammed; their tables are moot
+		}
+		if tb.Programming() || tb.Dirty() {
+			return fmt.Errorf("port %v not converged after drain", id)
+		}
+		shadow := tb.Allocator().Table()
+		for _, sq := range tb.Allocator().Sequences() {
+			if g := shadow.MaxGap(sq.VL); g > sq.Stride {
+				return fmt.Errorf("port %v: VL %d max gap %d exceeds stride %d", id, sq.VL, g, sq.Stride)
+			}
+		}
+		return nil
+	}
+	for h, tb := range ports.Host {
+		if err := auditPort(admission.HostPortID(h), tb); err != nil {
+			return res, fmt.Errorf("failover %s: %w", res.Label, err)
+		}
+	}
+	for sw, row := range ports.Switch {
+		for q, tb := range row {
+			if err := auditPort(admission.SwitchPortID(sw, q), tb); err != nil {
+				return res, fmt.Errorf("failover %s: %w", res.Label, err)
+			}
+		}
+	}
+
+	// Packet conservation (including failure losses) and credit audit.
+	if err := net.CheckConservation(); err != nil {
+		return res, fmt.Errorf("failover %s: %w", res.Label, err)
+	}
+	if err := net.CheckBuffers(); err != nil {
+		return res, fmt.Errorf("failover %s: %w", res.Label, err)
+	}
+
+	// The tables left active must still carry their acyclicity proof
+	// over the degraded topology.
+	if res.RepairCDG, err = cdg.VerifyPartial(rec.Degraded(), net.Routes); err != nil {
+		return res, fmt.Errorf("failover %s: active routes lost their acyclicity proof: %w", res.Label, err)
+	}
+
+	res.DetectedKeys = rec.DetectedKeys()
+	res.Readmitted = rec.Readmitted()
+	for h := 0; h < topo.NumHosts(); h++ {
+		if rec.HostDead(h) {
+			res.DeadHosts++
+		}
+	}
+	res.Control = *c
+	res.ProgramMADs = prog.Costs.MADs
+	res.Injected, res.Delivered, res.Dropped = net.Totals()
+	res.Lost = net.LostPackets()
+	res.EndTimeBT = net.Now()
+	return res, nil
+}
+
+// drawFailoverSchedule picks the point's two victims from the live
+// traffic: the first inter-switch hop of a reserved path (killed, then
+// revived at 3x the failure time) and the host-bearing switch of a
+// seed-chosen connection's destination (crashed for good at 2x).
+func drawFailoverSchedule(net *fabric.Network, flows []*fabric.Flow, p FailoverParams, seed int64) (faults.Schedule, error) {
+	var s faults.Schedule
+	for _, f := range flows {
+		path, err := net.Routes.PathSwitches(f.Src, f.Dst)
+		if err != nil || len(path) < 2 {
+			continue
+		}
+		s = append(s, faults.FailureEvent{
+			Kind: faults.FailLink, Switch: path[0], Port: net.Routes.NextPort(path[0], f.Dst),
+			At: p.FailAtBT, Revive: 3 * p.FailAtBT,
+		})
+		break
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("no reserved path crosses an inter-switch link")
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	victim := flows[rng.Intn(len(flows))]
+	sw, _ := net.Topo.HostSwitch(victim.Dst)
+	s = append(s, faults.FailureEvent{Kind: faults.FailSwitch, Switch: sw, At: 2 * p.FailAtBT})
+	return s, nil
+}
+
+// FailoverSweep runs every topology point of the grid.  Results come
+// back in input order regardless of worker count, so the sweep's JSON
+// encoding is bit-identical at any parallelism.
+func FailoverSweep(p FailoverParams, workers int) ([]FailoverResult, error) {
+	jobs := make([]runner.Job[FailoverResult], len(p.Specs))
+	for i := range jobs {
+		spec := p.Specs[i]
+		jobs[i] = runner.Job[FailoverResult]{
+			Name: spec.Label(),
+			Seed: runner.DeriveSeed(p.Seed, i),
+			Run: func(_ context.Context, seed int64) (FailoverResult, error) {
+				return FailoverPoint(p, spec, seed)
+			},
+		}
+	}
+	results := runner.Sweep(context.Background(), jobs, runner.Options{Workers: workers})
+	out := make([]FailoverResult, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.Name, r.Err)
+		}
+		out[r.Index] = r.Value
+	}
+	return out, nil
+}
+
+// PrintFailover renders a failover sweep as a table, one row per
+// topology point.
+func PrintFailover(w io.Writer, res []FailoverResult) {
+	if len(res) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Live failure and verified route repair (RepairCDG proves the post-failure tables deadlock-free)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "topology\tsw\thosts\tadm/att\trepairs\tdetected\tdispl\treadm\tdrain/reinj/lost\tunreach\tCDG ch/dep\tMADs")
+	for _, r := range res {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d/%d\t%d\t%d\t%d\t%d\t%d/%d/%d\t%d\t%d/%d\t%d\n",
+			r.Label, r.Switches, r.Hosts, r.Admitted, r.Attempts,
+			r.Control.RepairsCompleted, r.DetectedKeys,
+			r.Control.FlowsDisplaced, r.Readmitted,
+			r.Control.PacketsDrained, r.Control.PacketsReinjected, r.Control.PacketsLost,
+			r.Repair.UnreachablePairs, r.RepairCDG.Channels, r.RepairCDG.Deps,
+			r.ProgramMADs)
+	}
+	tw.Flush()
+}

@@ -47,7 +47,12 @@ func ShardBenchDefault() ShardBenchParams {
 
 // ShardBenchResult is one shard count's row.
 type ShardBenchResult struct {
-	Shards       int     `json:"shards"`
+	Shards int `json:"shards"` // requested shard count
+	// Effective is the shard count the fabric actually simulated with:
+	// the partitioner silently clamps requests above the switch count,
+	// so a row with Effective < Shards measured a smaller partition
+	// than its label suggests.
+	Effective    int     `json:"effectiveShards"`
 	Parallel     bool    `json:"parallel"`
 	Windows      uint64  `json:"windows"`
 	Events       uint64  `json:"events"`
@@ -100,6 +105,7 @@ func shardBenchRun(p ShardBenchParams, shards int) (ShardBenchResult, error) {
 		return res, err
 	}
 	res.Shards = shards
+	res.Effective = net.Shards()
 	res.Parallel = net.Parallel()
 
 	// The offered traffic is a pure function of (topo, seed): QoS
@@ -156,11 +162,17 @@ func PrintShardBench(w io.Writer, p ShardBenchParams, res []ShardBenchResult) {
 	fmt.Fprintf(w, "Sharded-core throughput: %s load %g horizon %d BT (%d CPUs)\n",
 		p.Spec.Label(), p.Load, p.HorizonBT, runtime.NumCPU())
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "shards\tparallel\twindows\tevents\tdelivered\twall ms\tevents/s\tspeedup")
+	fmt.Fprintln(tw, "shards\teff\tparallel\twindows\tevents\tdelivered\twall ms\tevents/s\tspeedup")
 	for _, r := range res {
-		fmt.Fprintf(tw, "%d\t%v\t%d\t%d\t%d\t%.1f\t%.3g\t%.2f\n",
-			r.Shards, r.Parallel, r.Windows, r.Events, r.Delivered,
+		fmt.Fprintf(tw, "%d\t%d\t%v\t%d\t%d\t%d\t%.1f\t%.3g\t%.2f\n",
+			r.Shards, r.Effective, r.Parallel, r.Windows, r.Events, r.Delivered,
 			r.WallMS, r.EventsPerSec, r.Speedup)
 	}
 	tw.Flush()
+	for _, r := range res {
+		if r.Effective != r.Shards {
+			fmt.Fprintf(w, "warning: %d shards requested but the fabric has only %d partitionable switches; row measured %d shards\n",
+				r.Shards, r.Effective, r.Effective)
+		}
+	}
 }

@@ -108,7 +108,15 @@ func (sh *shard) HandleEvent(ev sim.Event) {
 func (sh *shard) xmitDone(outCode, srcCode int32, vl, wire int) {
 	n := sh.n
 	if srcCode >= 0 {
-		src := &n.switches[srcCode/topology.SwitchPorts].in[srcCode%topology.SwitchPorts]
+		s := int(srcCode) / topology.SwitchPorts
+		if n.rec != nil && n.rec.crashedSwitch(s) {
+			// The source buffer belongs to a crashed switch whose credit
+			// state was wiped at drain time; decrementing now would drive
+			// the zeroed occupancy negative, and there is nobody left to
+			// credit.
+			return
+		}
+		src := &n.switches[s].in[srcCode%topology.SwitchPorts]
 		src.occ[vl] -= wire
 		switch {
 		case src.upSwitch >= 0:

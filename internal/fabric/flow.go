@@ -47,8 +47,11 @@ type Flow struct {
 	stopped     bool
 
 	// Whole-run packet counters (independent of the measurement
-	// window), used to detect when a stopping flow has drained.
-	genPkts, delPkts int64
+	// window), used to detect when a stopping flow has drained.  A
+	// stopping flow is drained when delPkts+lostPkts reaches genPkts:
+	// lostPkts counts packets the failure-recovery subsystem drained
+	// with no surviving route.
+	genPkts, delPkts, lostPkts int64
 
 	// pacing, when non-nil, returns the gap to the next packet
 	// generation; nil means constant-bit-rate spacing at IAT.  Used by

@@ -81,6 +81,15 @@ type Config struct {
 	// mutation safe — the churn and fault experiments force it — at
 	// the price of no parallel speedup.
 	ShardDeterministic bool
+
+	// FailoverEscape seeds every data VL with a weight-1 low-priority
+	// table entry (in addition to the best-effort weights above).  A
+	// failure recovery that releases a displaced connection's
+	// reservations could otherwise strand its already-queued packets on
+	// a lane no table entry serves; the escape weight keeps every lane
+	// draining.  Off (the default) leaves the tables exactly as before,
+	// so existing goldens are unaffected.  Required by EnableRecovery.
+	FailoverEscape bool
 }
 
 // DefaultConfig returns the evaluation configuration of the paper's
@@ -180,6 +189,11 @@ type Network struct {
 	// nothing until the window ends.  Nil (the default) costs the hot
 	// path a single predictable branch, like Metrics.
 	Faults *faults.Injector
+
+	// rec is the failure-recovery subsystem (see failover.go); nil
+	// unless EnableRecovery was called.  The hot paths consult it with
+	// one predictable nil check, like Metrics and Faults.
+	rec *Recovery
 }
 
 // SetFaults attaches a fault injector to the data plane's scheduling
@@ -380,6 +394,20 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 			low = append(low, arbtable.Entry{
 				VL: sl.PlaneVL(e.VL, plane, n.planes), Weight: e.Weight,
 			})
+		}
+	}
+	if cfg.FailoverEscape {
+		// Weight-1 escape entries for every data VL not already served
+		// by the low table, so lanes whose reservations a failure
+		// recovery released keep draining (see Config.FailoverEscape).
+		var have [arbtable.NumDataVLs]bool
+		for _, e := range low {
+			have[e.VL] = true
+		}
+		for vl := 0; vl < arbtable.NumDataVLs; vl++ {
+			if !have[vl] {
+				low = append(low, arbtable.Entry{VL: uint8(vl), Weight: 1})
+			}
 		}
 	}
 
@@ -632,7 +660,7 @@ func (n *Network) ReleaseConnection(conn *admission.Conn, f *Flow, onDone func()
 	f.stopped = true
 	var poll func()
 	poll = func() {
-		if f.delPkts < f.genPkts {
+		if f.delPkts+f.lostPkts < f.genPkts {
 			n.Engine.After(f.IAT+1, poll)
 			return
 		}
@@ -696,7 +724,11 @@ func (sh *shard) tryHost(h int) {
 	}
 	if n.Faults != nil {
 		if until := n.Faults.BlockedUntil(faults.HostKey(h), now); until > now {
-			sh.eng.Post(until, sh, sim.Event{Kind: evKickHost, A: int32(h)})
+			// Permanent failures never un-block on their own; recovery's
+			// revival re-arm covers them instead of an event at infinity.
+			if until < faults.Forever {
+				sh.eng.Post(until, sh, sim.Event{Kind: evKickHost, A: int32(h)})
+			}
 			return
 		}
 	}
@@ -752,6 +784,11 @@ func (sh *shard) kickSwitch(s, p int) {
 		sh.kickVOQ(s)
 		return
 	}
+	if p < 0 {
+		// A repaired route set may leave a queued packet's destination
+		// unroutable (NextPort -1) until the sweep removes it.
+		return
+	}
 	out := &n.switches[s].out[p]
 	if !out.wired || out.pending {
 		return
@@ -794,7 +831,9 @@ func (sh *shard) trySwitch(s, p int) {
 	}
 	if n.Faults != nil {
 		if until := n.Faults.BlockedUntil(faults.SwitchPortKey(s, p), now); until > now {
-			sh.eng.Post(until, sh, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(p)})
+			if until < faults.Forever {
+				sh.eng.Post(until, sh, sim.Event{Kind: evKickSwitch, A: int32(s), B: int32(p)})
+			}
 			return
 		}
 	}
@@ -965,6 +1004,9 @@ func (sh *shard) transmit(out *outPort, pkt *Packet, srcCode int32, srcVL uint8)
 // over the occupancy accounting the sender did locally elsewhere.
 func (sh *shard) arrive(out *outPort, pkt *Packet) {
 	n := sh.n
+	if n.rec != nil && n.rec.dropArrival(sh, out, pkt) {
+		return
+	}
 	if out.downHost >= 0 {
 		sh.deliver(pkt)
 		return
@@ -1047,6 +1089,18 @@ func (n *Network) Totals() (injected, delivered, dropped int64) {
 		dropped += sh.totalDropped
 	}
 	return injected, delivered, dropped
+}
+
+// LostPackets counts packets the failure-recovery subsystem drained
+// with no surviving route (0 unless failures were injected).  Lost
+// packets were injected but will never be delivered, so conservation
+// is injected == delivered + queued + lost.
+func (n *Network) LostPackets() int64 {
+	var lost int64
+	for _, sh := range n.shards {
+		lost += sh.totalLost
+	}
+	return lost
 }
 
 // QueuedPackets counts packets currently sitting in host send queues
@@ -1232,12 +1286,13 @@ func (n *Network) CheckBuffers() error {
 func (n *Network) CheckConservation() error {
 	queued := n.QueuedPackets()
 	injected, delivered, _ := n.Totals()
+	lost := n.LostPackets()
 	for _, sh := range n.shards {
 		queued += int64(len(sh.outbox)) // boundary packets awaiting flush
 	}
-	if injected != delivered+queued {
-		return fmt.Errorf("fabric: injected %d != delivered %d + queued %d",
-			injected, delivered, queued)
+	if injected != delivered+queued+lost {
+		return fmt.Errorf("fabric: injected %d != delivered %d + queued %d + lost %d",
+			injected, delivered, queued, lost)
 	}
 	return nil
 }

@@ -84,6 +84,9 @@ type shard struct {
 	totalInjected  int64
 	totalDelivered int64
 	totalDropped   int64
+	// totalLost counts packets failure recovery drained with no
+	// surviving route (charged to the shard that consumed them).
+	totalLost int64
 
 	// Measurement-window byte totals, split the same way.
 	injectedBytes  int64

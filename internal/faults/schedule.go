@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the failure-schedule layer: deterministic data-plane
+// topology failures (a link dies, a switch crashes, an element later
+// revives), as opposed to the per-packet control-plane fates above.
+// A Schedule is pure data — who fails, when, and for how long — with a
+// line-oriented text codec so experiments can log, replay and fuzz the
+// exact failure sequence a run saw.  Applying a schedule to a live
+// fabric (mapping elements to injector link keys, quarantining, route
+// repair) is the fabric's job, not this package's.
+
+// Forever is the end time of a permanent failure window: far past any
+// simulation horizon, but with headroom below MaxInt64 so arithmetic
+// like end+latency cannot overflow.
+const Forever int64 = 1 << 62
+
+// FailureKind distinguishes the two topology failure modes.
+type FailureKind uint8
+
+const (
+	// FailLink kills one inter-switch or host link (both directions).
+	FailLink FailureKind = iota
+	// FailSwitch crashes a whole switch: every link touching it dies
+	// and its queued packets are lost until drained by recovery.
+	FailSwitch
+)
+
+// FailureEvent is one scheduled topology failure.  Link failures name
+// the switch-side (switch, port) of the dying link; switch crashes
+// name only the switch.  Revive, when positive, is the absolute time
+// the element comes back; zero means the failure is permanent.
+type FailureEvent struct {
+	Kind   FailureKind
+	Switch int
+	Port   int // FailLink only
+	At     int64
+	Revive int64 // 0 = permanent
+}
+
+// Schedule is an ordered list of topology failures.  Order is
+// preserved by the codec; consumers that need time order sort a copy.
+type Schedule []FailureEvent
+
+// String encodes the schedule in the text format ParseFailureSchedule
+// reads: one event per line,
+//
+//	link <switch> <port> @<at> [revive <at2>]
+//	switch <switch> @<at> [revive <at2>]
+//
+// The encoding round-trips: ParseFailureSchedule(s.String()) returns
+// an equal schedule.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, e := range s {
+		switch e.Kind {
+		case FailLink:
+			fmt.Fprintf(&b, "link %d %d @%d", e.Switch, e.Port, e.At)
+		default:
+			fmt.Fprintf(&b, "switch %d @%d", e.Switch, e.At)
+		}
+		if e.Revive > 0 {
+			fmt.Fprintf(&b, " revive %d", e.Revive)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseFailureSchedule decodes the text failure-schedule format.  Blank
+// lines and #-comments are ignored.  Every event is validated: indexes
+// non-negative, times non-negative and below Forever, revival strictly
+// after the failure.  The decoder never panics on any input — it is
+// fuzzed — and returns the first offending line in its error.
+func ParseFailureSchedule(text string) (Schedule, error) {
+	var s Schedule
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		e, err := parseFailureEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("failure schedule line %d: %w", ln+1, err)
+		}
+		s = append(s, e)
+	}
+	return s, nil
+}
+
+// parseFailureEvent decodes one whitespace-split event line.
+func parseFailureEvent(fields []string) (FailureEvent, error) {
+	var e FailureEvent
+	var rest []string
+	switch fields[0] {
+	case "link":
+		e.Kind = FailLink
+		if len(fields) < 4 {
+			return e, fmt.Errorf("link event needs <switch> <port> @<at>, got %d fields", len(fields))
+		}
+		sw, err := parseIndex(fields[1])
+		if err != nil {
+			return e, fmt.Errorf("switch: %w", err)
+		}
+		p, err := parseIndex(fields[2])
+		if err != nil {
+			return e, fmt.Errorf("port: %w", err)
+		}
+		e.Switch, e.Port = sw, p
+		rest = fields[3:]
+	case "switch":
+		e.Kind = FailSwitch
+		if len(fields) < 3 {
+			return e, fmt.Errorf("switch event needs <switch> @<at>, got %d fields", len(fields))
+		}
+		sw, err := parseIndex(fields[1])
+		if err != nil {
+			return e, fmt.Errorf("switch: %w", err)
+		}
+		e.Switch = sw
+		rest = fields[2:]
+	default:
+		return e, fmt.Errorf("unknown event kind %q", fields[0])
+	}
+
+	if !strings.HasPrefix(rest[0], "@") {
+		return e, fmt.Errorf("expected @<at>, got %q", rest[0])
+	}
+	at, err := parseTime(rest[0][1:])
+	if err != nil {
+		return e, fmt.Errorf("at: %w", err)
+	}
+	e.At = at
+	switch {
+	case len(rest) == 1:
+		// permanent failure
+	case len(rest) == 3 && rest[1] == "revive":
+		rv, err := parseTime(rest[2])
+		if err != nil {
+			return e, fmt.Errorf("revive: %w", err)
+		}
+		if rv <= e.At {
+			return e, fmt.Errorf("revive time %d not after failure time %d", rv, e.At)
+		}
+		e.Revive = rv
+	default:
+		return e, fmt.Errorf("trailing fields %q (want nothing or \"revive <at>\")", strings.Join(rest[1:], " "))
+	}
+	return e, nil
+}
+
+// parseIndex reads a non-negative element index.
+func parseIndex(s string) (int, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad index %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative index %d", v)
+	}
+	return int(v), nil
+}
+
+// parseTime reads a byte-time in [0, Forever).
+func parseTime(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	if v < 0 || v >= Forever {
+		return 0, fmt.Errorf("time %d outside [0, %d)", v, Forever)
+	}
+	return v, nil
+}

@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFailureScheduleRoundTrip(t *testing.T) {
+	in := Schedule{
+		{Kind: FailLink, Switch: 3, Port: 7, At: 4096},
+		{Kind: FailLink, Switch: 0, Port: 1, At: 100, Revive: 9000},
+		{Kind: FailSwitch, Switch: 12, At: 65536},
+		{Kind: FailSwitch, Switch: 2, At: 10, Revive: 11},
+	}
+	got, err := ParseFailureSchedule(in.String())
+	if err != nil {
+		t.Fatalf("parse(String()) failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestParseFailureScheduleText(t *testing.T) {
+	text := `
+# comment line
+link 1 2 @500 revive 800   # trailing comment
+
+switch 4 @1000
+`
+	s, err := ParseFailureSchedule(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := Schedule{
+		{Kind: FailLink, Switch: 1, Port: 2, At: 500, Revive: 800},
+		{Kind: FailSwitch, Switch: 4, At: 1000},
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("got %+v want %+v", s, want)
+	}
+	if got, err := ParseFailureSchedule(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty schedule: got %v, %v", got, err)
+	}
+}
+
+func TestParseFailureScheduleErrors(t *testing.T) {
+	for _, bad := range []string{
+		"link 1 2",                      // missing @at
+		"link 1 @5",                     // missing port
+		"link -1 2 @5",                  // negative switch
+		"link 1 2 5",                    // missing @
+		"link 1 2 @x",                   // non-numeric time
+		"switch 1 @-5",                  // negative time
+		"switch 1 @5 revive 5",          // revive not after failure
+		"switch 1 @5 revive",            // dangling revive
+		"switch 1 @5 revive 9 extra",    // trailing junk
+		"crash 1 @5",                    // unknown kind
+		"switch 1 @4611686018427387904", // >= Forever
+	} {
+		if _, err := ParseFailureSchedule(bad); err == nil {
+			t.Errorf("ParseFailureSchedule(%q) = nil error, want failure", bad)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("ParseFailureSchedule(%q) error %v does not name the line", bad, err)
+		}
+	}
+}
+
+// FuzzFailureSchedule checks the failure-schedule decoder never panics
+// and that every accepted schedule is well formed and survives a
+// String() round trip bit-identically — the property the failover
+// experiment leans on when it re-parses its own logged schedule.
+func FuzzFailureSchedule(f *testing.F) {
+	f.Add("link 0 1 @4096 revive 8192\nswitch 3 @10000\n")
+	f.Add("# nothing but comments\n\n")
+	f.Add("switch 0 @0\nlink 2 15 @999999999\n")
+	f.Add("link 1 2 @500 revive 501")
+	f.Add("switch -1 @5")
+	f.Add("link 1 2 @" + strings.Repeat("9", 30))
+
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseFailureSchedule(text)
+		if err != nil {
+			return
+		}
+		for i, e := range s {
+			if e.Switch < 0 || e.Port < 0 {
+				t.Fatalf("event %d: negative element index: %+v", i, e)
+			}
+			if e.At < 0 || e.At >= Forever {
+				t.Fatalf("event %d: failure time outside [0, Forever): %+v", i, e)
+			}
+			if e.Revive != 0 && (e.Revive <= e.At || e.Revive >= Forever) {
+				t.Fatalf("event %d: revive outside (At, Forever): %+v", i, e)
+			}
+			if e.Kind != FailLink && e.Kind != FailSwitch {
+				t.Fatalf("event %d: unknown kind: %+v", i, e)
+			}
+		}
+		again, err := ParseFailureSchedule(s.String())
+		if err != nil {
+			t.Fatalf("re-parse of String() failed: %v\nencoded:\n%s", err, s.String())
+		}
+		if !reflect.DeepEqual(again, s) {
+			t.Fatalf("String() round trip changed the schedule:\n got %+v\nwant %+v", again, s)
+		}
+	})
+}

@@ -59,11 +59,38 @@ type ControlCounters struct {
 	AuditRounds     int64 `json:"auditRounds"`     // Get(VLArbitrationTable) read-back rounds started
 	AuditRecoveries int64 `json:"auditRecoveries"` // ports healed (re-synced) by the audit path
 	QuarantinedHops int64 `json:"quarantinedHops"` // hops quarantined as unreachable
+
+	// Data-plane failure recovery (the failover subsystem).  All
+	// omitempty: runs without topology failures keep their exact
+	// snapshot shape, so pre-failover goldens stay byte-identical.
+	RepairsStarted    int64 `json:"repairsStarted,omitempty"`    // route repairs begun after a detected failure
+	RepairsCompleted  int64 `json:"repairsCompleted,omitempty"`  // repairs activated (CDG-proved and swapped in)
+	PacketsDrained    int64 `json:"packetsDrained,omitempty"`    // packets pulled off dead elements or dead routes
+	PacketsReinjected int64 `json:"packetsReinjected,omitempty"` // drained packets re-queued at their source
+	PacketsLost       int64 `json:"packetsLost,omitempty"`       // drained packets with no surviving route (accounted, not silent)
+	FlowsDisplaced    int64 `json:"flowsDisplaced,omitempty"`    // flows whose reserved path changed and were re-admitted or stopped
+	// RepairTime observes failure-detection-to-activation latency in
+	// byte times, one observation per completed repair.
+	RepairTime *Hist `json:"timeToRepair,omitempty"`
 }
 
 // Zero reports whether no control-plane fault activity was counted.
+// (RepairTime is a pointer, so struct equality keeps working: a nil
+// histogram means no repair was ever timed.)
 func (c *ControlCounters) Zero() bool {
 	return c == nil || *c == ControlCounters{}
+}
+
+// ObserveRepairTime records one completed repair's detection-to-
+// activation latency, allocating the histogram on first use.
+func (c *ControlCounters) ObserveRepairTime(bt int64) {
+	if c == nil {
+		return
+	}
+	if c.RepairTime == nil {
+		c.RepairTime = &Hist{}
+	}
+	c.RepairTime.Observe(bt)
 }
 
 // Add accumulates o into c.
@@ -78,6 +105,18 @@ func (c *ControlCounters) Add(o ControlCounters) {
 	c.AuditRounds += o.AuditRounds
 	c.AuditRecoveries += o.AuditRecoveries
 	c.QuarantinedHops += o.QuarantinedHops
+	c.RepairsStarted += o.RepairsStarted
+	c.RepairsCompleted += o.RepairsCompleted
+	c.PacketsDrained += o.PacketsDrained
+	c.PacketsReinjected += o.PacketsReinjected
+	c.PacketsLost += o.PacketsLost
+	c.FlowsDisplaced += o.FlowsDisplaced
+	if o.RepairTime != nil {
+		if c.RepairTime == nil {
+			c.RepairTime = &Hist{}
+		}
+		c.RepairTime.Add(o.RepairTime)
+	}
 }
 
 // VOQCounters meters the input-queued switch models (VOQ crossbars
@@ -147,10 +186,10 @@ func (c *EngineCounters) Add(o EngineCounters) {
 // zeros; bucket i counts values v with 2^(i-1) <= v < 2^i; the last
 // bucket is an open tail.  Fixed-size, so observing allocates nothing.
 type Hist struct {
-	Counts [16]int64
-	N      int64
-	Sum    int64
-	Max    int64
+	Counts [16]int64 `json:"counts"`
+	N      int64     `json:"n"`
+	Sum    int64     `json:"sum"`
+	Max    int64     `json:"max"`
 }
 
 // Observe records one value.  Negative values clamp to zero.

@@ -40,6 +40,11 @@ type Stats struct {
 	// Routes is the number of (source switch, destination switch, base
 	// VL) routes walked.
 	Routes int
+	// Unroutable is the number of (source, destination, base VL) routes
+	// VerifyPartial found disconnected at the source (Verify treats
+	// those as errors).  Omitted from JSON when zero so pre-repair
+	// reports are unchanged.
+	Unroutable int `json:"Unroutable,omitempty"`
 }
 
 // CycleError reports a channel-dependency cycle with a witness.
@@ -76,6 +81,20 @@ func (e *CycleError) Error() string {
 // the switch count are reported as errors too (a forwarding loop is a
 // routing bug even before it deadlocks).
 func Verify(topo *topology.Topology, eng Engine) (Stats, error) {
+	return verify(topo, eng, false)
+}
+
+// VerifyPartial is Verify for degraded fabrics: a route whose SOURCE
+// has no next port toward the destination is counted in
+// Stats.Unroutable instead of failing the proof, because a repaired
+// route set legitimately disconnects host pairs that lost their only
+// path.  A route that starts but dies mid-walk is still an error — a
+// repair must never forward a packet toward a dead end.
+func VerifyPartial(topo *topology.Topology, eng Engine) (Stats, error) {
+	return verify(topo, eng, true)
+}
+
+func verify(topo *topology.Topology, eng Engine, allowPartial bool) (Stats, error) {
 	var st Stats
 
 	// Host-bearing switches are the only legal route endpoints.
@@ -120,6 +139,10 @@ func Verify(topo *topology.Topology, eng Engine) (Stats, error) {
 					}
 					p := eng.NextPortToSwitch(sw, dst)
 					if p < 0 {
+						if allowPartial && sw == src {
+							st.Unroutable++
+							break
+						}
 						return st, fmt.Errorf("cdg: no route from switch %d to %d (base vl %d)", sw, dst, base)
 					}
 					e := topo.Peer(sw, p)

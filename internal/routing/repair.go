@@ -1,0 +1,266 @@
+// Route repair for degraded topologies.  When links die or a switch
+// crashes mid-run, the fabric hands the mutated topology to Repair,
+// which rebuilds per-class forwarding tables over the surviving links
+// and has the channel-dependency verifier re-prove them acyclic before
+// anything is activated:
+//
+//   - fat-tree and irregular fabrics rebuild up*/down* tables with
+//     per-component BFS trees (a degraded fat-tree is just an irregular
+//     network with a helpful shape, and up*/down* is the classic
+//     fault-tolerant fallback);
+//   - dragonflies first retry minimal l-g-l over the surviving links,
+//     keeping the two-plane escape scheme; if a failure broke a minimal
+//     path that a non-minimal detour could cover, the l-g-l attempt is
+//     rejected and the engine falls back to up*/down* over the degraded
+//     graph, preserving the fabric's VL plane layout (planes stay
+//     claimed, the hop-VL function becomes the identity) so wire VLs,
+//     SLtoVL collapsing and buffer sizing all remain valid.
+//
+// Host pairs whose switches ended up in different components are left
+// unroutable (next port -1) and counted — never silently dropped; the
+// fabric reports and drains them.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/routing/cdg"
+	"repro/internal/topology"
+)
+
+// RepairReport describes what a Repair did.
+type RepairReport struct {
+	// FellBack is true when a dragonfly could not keep minimal l-g-l
+	// routing and fell back to up*/down* over the surviving links.
+	FellBack bool `json:"fellBack,omitempty"`
+	// UnreachablePairs counts ordered host-bearing switch pairs with no
+	// surviving route (they are disconnected in the degraded graph).
+	UnreachablePairs int `json:"unreachablePairs,omitempty"`
+	// Stats is the channel-dependency proof of the repaired tables.
+	Stats cdg.Stats `json:"cdg"`
+}
+
+// Repair rebuilds deadlock-free forwarding tables for a degraded
+// topology (links and switches already removed) and proves them
+// acyclic with the CDG verifier before returning.  The returned route
+// set leaves truly disconnected pairs unroutable; the report counts
+// them.  An error means no safe route set could be built — the caller
+// must not activate anything.
+func Repair(topo *topology.Topology) (*Routes, RepairReport, error) {
+	var rep RepairReport
+	if topo.Spec.Class == topology.Dragonfly {
+		if r := repairDragonflyMinimal(topo); r != nil {
+			st, err := cdg.VerifyPartial(topo, r)
+			if err == nil && st.Unroutable == disconnectedRoutes(topo, r.BaseVLs()) {
+				rep.Stats = st
+				rep.UnreachablePairs = st.Unroutable / r.BaseVLs()
+				return r, rep, nil
+			}
+		}
+		rep.FellBack = true
+	}
+
+	planes := 1
+	if topo.Spec.Class == topology.Dragonfly {
+		// Keep the plane claim so the fabric's VL layout stays valid;
+		// groupOf stays nil, making HopVL the identity.
+		planes = 2
+	}
+	r, err := computeUpDownPartial(topo, planes)
+	if err != nil {
+		return nil, rep, err
+	}
+	st, err := cdg.VerifyPartial(topo, r)
+	if err != nil {
+		return nil, rep, fmt.Errorf("routing: repaired tables failed CDG proof: %w", err)
+	}
+	rep.Stats = st
+	rep.UnreachablePairs = st.Unroutable / r.BaseVLs()
+	return r, rep, nil
+}
+
+// repairDragonflyMinimal rebuilds the arithmetic minimal l-g-l tables
+// and invalidates every entry whose port lost its link.  The caller
+// accepts the result only if the CDG proof passes AND the unroutable
+// count matches true disconnection — i.e. the failures only severed
+// pairs no detour could have saved; otherwise minimal routing would
+// strand reachable hosts and up*/down* takes over.  Returns nil when
+// the layout itself cannot be rebuilt.
+func repairDragonflyMinimal(topo *topology.Topology) *Routes {
+	r, err := computeDragonfly(topo)
+	if err != nil {
+		return nil
+	}
+	for s := 0; s < topo.NumSwitches; s++ {
+		for d := 0; d < topo.NumSwitches; d++ {
+			if p := r.next[s][d]; p >= 0 && topo.Peer(s, p).Switch < 0 {
+				r.next[s][d] = -1
+			}
+		}
+	}
+	return r
+}
+
+// computeUpDownPartial is Compute generalized to disconnected graphs:
+// BFS levels are assigned per component (rooted at each component's
+// lowest-index switch) and unreachable destinations leave their
+// forwarding entries at -1 instead of failing.  planes is carried into
+// the result so multi-plane fabrics keep their VL layout.
+func computeUpDownPartial(topo *topology.Topology, planes int) (*Routes, error) {
+	n := topo.NumSwitches
+	r := &Routes{topo: topo, level: make([]int, n), next: make([][]int, n), planes: planes}
+	for i := range r.level {
+		r.level[i] = -1
+	}
+	for root := 0; root < n; root++ {
+		if r.level[root] >= 0 {
+			continue
+		}
+		r.level[root] = 0
+		queue := []int{root}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			for _, nb := range topo.Neighbors(s) {
+				if r.level[nb.Switch] < 0 {
+					r.level[nb.Switch] = r.level[s] + 1
+					queue = append(queue, nb.Switch)
+				}
+			}
+		}
+	}
+
+	for s := range r.next {
+		r.next[s] = make([]int, n)
+		for d := range r.next[s] {
+			r.next[s][d] = -1
+		}
+	}
+	for d := 0; d < n; d++ {
+		if err := r.computeDestPartial(d); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// computeDestPartial is computeDest with unreachable sources allowed:
+// a source with no legal path to d keeps next = -1.  A reachable
+// source without a usable port is still an error (it would mean the
+// relaxation and the port scan disagree — a bug, not a failure mode).
+func (r *Routes) computeDestPartial(d int) error {
+	n := r.topo.NumSwitches
+	const inf = int(^uint(0) >> 1)
+
+	downDist := make([]int, n)
+	for i := range downDist {
+		downDist[i] = inf
+	}
+	downDist[d] = 0
+	queue := []int{d}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, nb := range r.topo.Neighbors(x) {
+			y := nb.Switch
+			if downDist[y] == inf && !r.isUp(y, x) { // y -> x is down
+				downDist[y] = downDist[x] + 1
+				queue = append(queue, y)
+			}
+		}
+	}
+
+	legal := make([]int, n)
+	copy(legal, downDist)
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < n; s++ {
+			for _, nb := range r.topo.Neighbors(s) {
+				if !r.isUp(s, nb.Switch) {
+					continue
+				}
+				if legal[nb.Switch] != inf && legal[nb.Switch]+1 < legal[s] {
+					legal[s] = legal[nb.Switch] + 1
+					changed = true
+				}
+			}
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		if s == d || legal[s] == inf {
+			continue // unreachable: leave next[s][d] = -1
+		}
+		best := -1
+		if downDist[s] != inf {
+			for _, nb := range r.topo.Neighbors(s) {
+				if !r.isUp(s, nb.Switch) && downDist[nb.Switch] == downDist[s]-1 {
+					best = nb.Port
+					break
+				}
+			}
+		}
+		if best < 0 {
+			bestDist := inf
+			for _, nb := range r.topo.Neighbors(s) {
+				if !r.isUp(s, nb.Switch) {
+					continue
+				}
+				if legal[nb.Switch] != inf && legal[nb.Switch]+1 < bestDist {
+					bestDist = legal[nb.Switch] + 1
+					best = nb.Port
+				}
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("routing: repair: switch %d has no usable port toward %d", s, d)
+		}
+		r.next[s][d] = best
+	}
+	return nil
+}
+
+// disconnectedRoutes counts the (source, destination, base VL) routes
+// between host-bearing switches that NO route set could serve, because
+// the switches sit in different components of the degraded graph.
+func disconnectedRoutes(topo *topology.Topology, baseVLs int) int {
+	n := topo.NumSwitches
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for root := 0; root < n; root++ {
+		if comp[root] >= 0 {
+			continue
+		}
+		comp[root] = c
+		queue := []int{root}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			for _, nb := range topo.Neighbors(s) {
+				if comp[nb.Switch] < 0 {
+					comp[nb.Switch] = c
+					queue = append(queue, nb.Switch)
+				}
+			}
+		}
+		c++
+	}
+	count := 0
+	for s := 0; s < n; s++ {
+		if topo.SwitchHosts(s) == 0 {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			if d == s || topo.SwitchHosts(d) == 0 {
+				continue
+			}
+			if comp[s] != comp[d] {
+				count += baseVLs
+			}
+		}
+	}
+	return count
+}

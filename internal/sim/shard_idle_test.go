@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// tickerShard self-schedules a fixed-period event chain until a stop
+// time, then goes idle — the shape of a fabric shard whose last flow
+// drains mid-run.
+type tickerShard struct {
+	eng    *Engine
+	period int64
+	stopAt int64
+	fired  int
+}
+
+func (s *tickerShard) HandleEvent(Event) {
+	s.fired++
+	if next := s.eng.Now() + s.period; next <= s.stopAt {
+		s.eng.Post(next, s, Event{})
+	}
+}
+
+// TestCoordinatorShardIdlesMidWindow: one shard's engine runs out of
+// events long before the horizon while the other keeps working.  The
+// coordinator must neither stall at the barrier waiting for the idle
+// shard nor spin empty windows: every shard's clock reaches the
+// horizon, every scheduled event fires, and the window count stays
+// bounded by the executed work (each window runs at least one event).
+func TestCoordinatorShardIdlesMidWindow(t *testing.T) {
+	early := &tickerShard{eng: &Engine{}, period: 5, stopAt: 100}
+	late := &tickerShard{eng: &Engine{}, period: 7, stopAt: 5000}
+	early.eng.Post(0, early, Event{})
+	late.eng.Post(0, late, Event{})
+
+	c := &Coordinator{Engines: []*Engine{early.eng, late.eng}, Lookahead: 10}
+	c.Run(5000)
+
+	if early.eng.Now() != 5000 || late.eng.Now() != 5000 {
+		t.Fatalf("clocks diverged at the horizon: %d vs %d", early.eng.Now(), late.eng.Now())
+	}
+	if want := 100/5 + 1; early.fired != want {
+		t.Errorf("early shard fired %d events, want %d", early.fired, want)
+	}
+	if want := 5000/7 + 1; late.fired != want {
+		t.Errorf("late shard fired %d events, want %d", late.fired, want)
+	}
+	// Progress bound: an idle shard must not make the coordinator cut
+	// windows that execute nothing.
+	total := uint64(early.fired + late.fired)
+	if c.Windows > total {
+		t.Errorf("%d windows for %d events: empty windows spun", c.Windows, total)
+	}
+}
+
+// TestCoordinatorRunWhileIdleShard: RunWhile with one engine that
+// never has work must terminate when the working engine drains (all
+// idle), not block on the idle shard, and leave both clocks agreeing.
+func TestCoordinatorRunWhileIdleShard(t *testing.T) {
+	worker := &tickerShard{eng: &Engine{}, period: 3, stopAt: 90}
+	idle := &Engine{}
+	worker.eng.Post(0, worker, Event{})
+
+	c := &Coordinator{Engines: []*Engine{worker.eng, idle}, Lookahead: 4}
+	c.RunWhile(func() bool { return true })
+
+	if want := 90/3 + 1; worker.fired != want {
+		t.Errorf("worker fired %d events, want %d", worker.fired, want)
+	}
+	if idle.NextTime() != math.MaxInt64 {
+		t.Errorf("idle engine grew events: next at %d", idle.NextTime())
+	}
+	// Clocks stop together at the final window edge, at or past the
+	// last event.
+	if worker.eng.Now() < 90 || worker.eng.Now() != idle.Now() {
+		t.Errorf("clocks stopped at %d and %d, want both together at >= 90", worker.eng.Now(), idle.Now())
+	}
+}

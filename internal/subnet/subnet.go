@@ -75,8 +75,14 @@ func (m *Manager) hopsTo(sw int) int {
 	if m.Routes == nil {
 		return 1
 	}
+	h := m.Topo.HostAt(sw, 0)
+	if h < 0 {
+		// Host-less switch (fat-tree aggregation or core): no routed
+		// host path ends there, so charge the BFS depth directly.
+		return 1 + bfsDepth(m.Topo, m.HomeSwitch, sw)
+	}
 	// Use the routed path from the SM's host to any host on sw.
-	path, err := m.Routes.PathSwitches(0, m.Topo.HostAt(sw, 0))
+	path, err := m.Routes.PathSwitches(0, h)
 	if err != nil {
 		return m.Topo.NumSwitches
 	}

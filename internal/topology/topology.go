@@ -410,3 +410,22 @@ func (t *Topology) RemoveLink(sw, port int) error {
 	t.peer[e.Switch][e.Port] = End{Switch: -1, Port: -1}
 	return nil
 }
+
+// RemoveSwitch disconnects every inter-switch link of sw, modeling a
+// switch crash in the degraded topology view.  The switch itself and
+// its attached hosts stay in the tables (indexes remain stable; the
+// hosts are simply unreachable), so routing can report them
+// unreachable instead of renumbering the fabric.
+func (t *Topology) RemoveSwitch(sw int) error {
+	if sw < 0 || sw >= t.NumSwitches {
+		return fmt.Errorf("topology: no switch %d", sw)
+	}
+	for p := 0; p < SwitchPorts; p++ {
+		if t.peer[sw][p].Switch >= 0 {
+			if err := t.RemoveLink(sw, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

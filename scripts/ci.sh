@@ -74,6 +74,7 @@ if [[ "$RUN_FUZZ" -eq 1 ]]; then
 ./internal/core FuzzShape
 ./internal/mad FuzzHighTableDecode
 ./internal/faults FuzzFaultSchedule
+./internal/faults FuzzFailureSchedule
 ./internal/topology FuzzTopologyGenerate
 ./internal/fabric FuzzISLIPSchedule
 EOF
@@ -81,6 +82,12 @@ fi
 
 echo "==> ibsim -exp faults -scale tiny (smoke)"
 go run ./cmd/ibsim -exp faults -scale tiny >/dev/null
+
+echo "==> ibsim -exp failover -scale tiny (live-failure recovery smoke, -race)"
+# Failure recovery rewires routes, drains buffers and reprograms
+# tables mid-run; the smoke runs it under the race detector so the
+# engine-confined design stays honest.
+go run -race ./cmd/ibsim -exp failover -scale tiny >/dev/null
 
 echo "==> ibsim -exp scale -scale tiny (smoke)"
 go run ./cmd/ibsim -exp scale -scale tiny >/dev/null
