@@ -54,7 +54,11 @@ func main() {
 		islipIters  = flag.Int("islip-iters", 0, "iSLIP iteration depth for -exp hol (0 = default)")
 		shards      = flag.Int("shards", 0, "partition each fabric into N shards simulated in conservative-lookahead windows (0/1 = classic single engine)")
 		shardDet    = flag.Bool("shard-det", false, "keep all shards on one engine: bit-identical output at any -shards count, no parallel speedup")
+		benchClass  = flag.String("bench-class", "fattree", "topology class for -exp shardbench: fattree|dragonfly")
 		benchK      = flag.Int("bench-k", 8, "fat-tree arity for -exp shardbench")
+		benchA      = flag.Int("bench-a", 16, "dragonfly switches per group for -exp shardbench")
+		benchP      = flag.Int("bench-p", 8, "dragonfly hosts per switch for -exp shardbench")
+		benchH      = flag.Int("bench-h", 8, "dragonfly global links per switch for -exp shardbench")
 		benchShards = flag.String("bench-shards", "1,2,4,8", "shard counts for -exp shardbench")
 		benchBT     = flag.Int64("bench-horizon", 0, "simulated horizon for -exp shardbench, byte times (0 = preset)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -152,6 +156,7 @@ func main() {
 			base.Switches = *switches
 		}
 		base.Shards = *shards
+		base.ShardDet = *shardDet
 		res, err := experiments.ChurnSweep(base, *churnSeeds, *parallel)
 		if err != nil {
 			fatal(err)
@@ -170,6 +175,7 @@ func main() {
 			base.Churn.Switches = *switches
 		}
 		base.Churn.Shards = *shards
+		base.Churn.ShardDet = *shardDet
 		res, err := experiments.FaultsSweep(base, *parallel)
 		if err != nil {
 			fatal(err)
@@ -232,7 +238,14 @@ func main() {
 		if *seed != 0 {
 			bp.Seed = *seed
 		}
-		bp.Spec = topology.Spec{Class: topology.FatTree, K: *benchK}
+		switch *benchClass {
+		case "fattree":
+			bp.Spec = topology.Spec{Class: topology.FatTree, K: *benchK}
+		case "dragonfly":
+			bp.Spec = topology.Spec{Class: topology.Dragonfly, A: *benchA, P: *benchP, H: *benchH}
+		default:
+			fatal(fmt.Errorf("unknown -bench-class %q (want fattree or dragonfly)", *benchClass))
+		}
 		if counts, err := parseSizes(*benchShards); err != nil {
 			fatal(err)
 		} else {

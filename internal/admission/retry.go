@@ -43,25 +43,50 @@ func (c *Controller) AdmitWithRetry(eng *sim.Engine, req traffic.Request, rp Ret
 	if rp.BackoffBT < 1 {
 		rp.BackoffBT = 1
 	}
-	start := eng.Now()
-	var attempt func(k int)
-	attempt = func(k int) {
-		conn, err := c.Admit(req)
-		if err == nil || !errors.Is(err, ErrHopBusy) {
-			done(conn, err)
-			return
-		}
-		if k+1 >= rp.Attempts {
-			done(nil, fmt.Errorf("admission: gave up after %d attempts: %w", k+1, err))
-			return
-		}
-		wait := rp.BackoffBT << k
-		if rp.DeadlineBT > 0 && eng.Now()+wait > start+rp.DeadlineBT {
-			done(nil, fmt.Errorf("admission: retry deadline (%d bt) exceeded after %d attempts: %w",
-				rp.DeadlineBT, k+1, err))
-			return
-		}
-		eng.After(wait, func() { attempt(k + 1) })
+	t := &retryTxn{c: c, eng: eng, req: req, rp: rp, done: done, start: eng.Now()}
+	t.attempt(0)
+}
+
+// evAdmitRetry is a retryTxn's backoff-retry event; the attempt index
+// rides in A.  (Each transaction is its own sim.Handler, so the kind
+// space is private per transaction.)
+const evAdmitRetry sim.Kind = iota
+
+// retryTxn is one in-flight AdmitWithRetry transaction.  Modeling the
+// retry as a typed event on the transaction handler — instead of a
+// closure pinned to an engine — lets a sharded fabric run admission
+// retries on its serialized control lane.
+type retryTxn struct {
+	c     *Controller
+	eng   *sim.Engine
+	req   traffic.Request
+	rp    RetryPolicy
+	done  func(*Conn, error)
+	start int64
+}
+
+// HandleEvent implements sim.Handler.
+func (t *retryTxn) HandleEvent(ev sim.Event) {
+	if ev.Kind == evAdmitRetry {
+		t.attempt(int(ev.A))
 	}
-	attempt(0)
+}
+
+func (t *retryTxn) attempt(k int) {
+	conn, err := t.c.Admit(t.req)
+	if err == nil || !errors.Is(err, ErrHopBusy) {
+		t.done(conn, err)
+		return
+	}
+	if k+1 >= t.rp.Attempts {
+		t.done(nil, fmt.Errorf("admission: gave up after %d attempts: %w", k+1, err))
+		return
+	}
+	wait := t.rp.BackoffBT << k
+	if t.rp.DeadlineBT > 0 && t.eng.Now()+wait > t.start+t.rp.DeadlineBT {
+		t.done(nil, fmt.Errorf("admission: retry deadline (%d bt) exceeded after %d attempts: %w",
+			t.rp.DeadlineBT, k+1, err))
+		return
+	}
+	t.eng.PostAfter(wait, t, sim.Event{Kind: evAdmitRetry, A: int32(k + 1)})
 }

@@ -38,12 +38,18 @@ type ChurnParams struct {
 
 	Retry admission.RetryPolicy
 
-	// Shards partitions the fabric (fabric.Config.Shards).  Churn
-	// mutates the control plane mid-run through closures on the shared
-	// engine, so sharded churn always forces the deterministic
-	// single-engine mode — shard counts change nothing here but are
-	// accepted so the determinism regression can sweep them.
+	// Shards partitions the fabric (fabric.Config.Shards).  Churn's
+	// control plane — admissions, releases, in-band table programs —
+	// runs as typed events on the fabric's control lane, so it works
+	// at any shard count: serialized at window barriers when the
+	// shards run in parallel, on the shared engine otherwise.
 	Shards int
+
+	// ShardDet forces the deterministic single-engine mode
+	// (fabric.Config.ShardDeterministic): all shards on one engine,
+	// bit-identical output for every shard count.  Off, Shards > 1
+	// runs the parallel coordinator.
+	ShardDet bool
 }
 
 // ChurnTiny is the unit-test scale: a 2-switch fabric with enough
@@ -107,6 +113,13 @@ type ChurnResult struct {
 	MaxVLRateCoV  float64 `json:"maxVLRateCoV"`
 
 	EndTimeBT int64 `json:"endTimeBT"`
+
+	// Parallel-run provenance, set only when the shards actually ran
+	// concurrently (never in single-engine or deterministic modes, so
+	// golden outputs and the cross-shard-count determinism regression
+	// keep their byte shape).
+	Parallel bool   `json:"parallel,omitempty"`
+	Windows  uint64 `json:"windows,omitempty"`
 }
 
 // churnArrival is one pre-drawn connection lifecycle.  Drawing every
@@ -147,7 +160,7 @@ func Churn(p ChurnParams) (ChurnResult, error) {
 
 	cfg := fabric.DefaultConfig(p.Switches, p.Payload, p.Seed)
 	cfg.Shards = p.Shards
-	cfg.ShardDeterministic = true // mid-run table programs need one engine
+	cfg.ShardDeterministic = p.ShardDet
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return res, err
@@ -158,15 +171,22 @@ func Churn(p ChurnParams) (ChurnResult, error) {
 	res.Seed = p.Seed
 	res.Offered = p.Arrivals
 
-	// Table programs travel in-band through the subnet manager.
+	// Table programs travel in-band through the subnet manager, as
+	// typed events on the control lane (the shared engine in
+	// single-engine modes, the serialized barrier lane in parallel).
 	m := subnet.NewManager(net.Topo)
 	m.Routes = net.Routes
-	prog := subnet.NewInbandProgrammer(net.Engine, m)
+	prog := subnet.NewInbandProgrammer(net.Ctrl, m)
 	net.Adm.SetProgrammer(prog)
+	if net.Parallel() {
+		prog.Counters = net.ControlCounters()
+		prog.ShardOf = net.PortShard
+		prog.HomeShard = net.PortShard(admission.SwitchPortID(m.HomeSwitch, 0))
+	}
 
 	arrivals := drawChurnArrivals(p, net.Topo.NumHosts())
 
-	eng := net.Engine
+	eng := net.Ctrl
 	var auditErr error
 	audit := func(stage string) {
 		if auditErr != nil {
@@ -240,7 +260,7 @@ func Churn(p ChurnParams) (ChurnResult, error) {
 	sample = func() {
 		var rates [arbtable.NumVLs]int64
 		for vl := 0; vl < arbtable.NumVLs; vl++ {
-			cur := net.Metrics.VL[vl].Bytes
+			cur := net.VLBytes(vl)
 			rates[vl] = cur - prev[vl]
 			prev[vl] = cur
 		}
@@ -251,7 +271,7 @@ func Churn(p ChurnParams) (ChurnResult, error) {
 	}
 	eng.After(p.SampleBT, sample)
 
-	eng.RunWhile(func() bool { return auditErr == nil })
+	net.RunWhile(func() bool { return auditErr == nil })
 	if auditErr != nil {
 		return res, auditErr
 	}
@@ -283,6 +303,10 @@ func Churn(p ChurnParams) (ChurnResult, error) {
 	res.Reconfig = net.ReconfigStats()
 	res.MeanVLRateCoV, res.MaxVLRateCoV = vlRateCoV(samples)
 	res.EndTimeBT = eng.Now()
+	if net.Parallel() {
+		res.Parallel = true
+		res.Windows = net.Windows()
+	}
 	return res, nil
 }
 

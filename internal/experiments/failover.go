@@ -42,9 +42,14 @@ type FailoverParams struct {
 	PollBT    int64 // failure-detection poll period
 	TimeoutBT int64 // blocked time before a port is declared dead
 
-	// Shards is accepted so the determinism regression can sweep shard
-	// counts; recovery requires the single-engine deterministic mode,
-	// which this experiment always forces.
+	// Shards partitions the fabric (fabric.Config.Shards).  Unlike
+	// churn and faults — whose control planes run as typed events on
+	// the control lane at any shard count — recovery repairs boundary
+	// credit mirrors in place, which is only sound with every shard on
+	// one engine, so this experiment always forces the deterministic
+	// single-engine mode.  The run surfaces that choice in its JSON
+	// (requestedShards/effectiveShards/shardDet) instead of silently
+	// ignoring the request.
 	Shards int
 }
 
@@ -122,6 +127,14 @@ type FailoverResult struct {
 	Lost      int64 `json:"lost"`
 
 	EndTimeBT int64 `json:"endTimeBT"`
+
+	// Sharding provenance: recovery requires the single-engine
+	// deterministic mode, so multi-shard requests run det-forced.
+	// Set only when more than one shard was requested, keeping the
+	// golden outputs' byte shape.
+	RequestedShards int  `json:"requestedShards,omitempty"`
+	EffectiveShards int  `json:"effectiveShards,omitempty"`
+	ShardDet        bool `json:"shardDet,omitempty"`
 }
 
 // FailoverPoint runs one topology point of the failover experiment.
@@ -139,13 +152,18 @@ func FailoverPoint(p FailoverParams, spec topology.Spec, seed int64) (FailoverRe
 	}
 	cfg := fabric.DefaultConfig(topo.NumSwitches, p.Payload, seed)
 	cfg.Shards = p.Shards
-	cfg.ShardDeterministic = true // recovery mutates routes mid-run; one engine
+	cfg.ShardDeterministic = true // recovery repairs boundary credit mirrors; one engine
 	cfg.FailoverEscape = true
 	net, err := fabric.NewWithTopology(cfg, topo)
 	if err != nil {
 		return res, err
 	}
 	net.EnableMetrics()
+	if p.Shards > 1 {
+		res.RequestedShards = p.Shards
+		res.EffectiveShards = net.Shards()
+		res.ShardDet = true
+	}
 
 	res.Class = spec.Class.String()
 	res.Label = spec.Label()
@@ -162,7 +180,7 @@ func FailoverPoint(p FailoverParams, spec topology.Spec, seed int64) (FailoverRe
 	// fault injector the failure windows live in.
 	m := subnet.NewManager(net.Topo)
 	m.Routes = net.Routes
-	prog := subnet.NewInbandProgrammer(net.Engine, m)
+	prog := subnet.NewInbandProgrammer(net.Ctrl, m)
 	prog.Retry = subnet.DefaultRetryProfile()
 	prog.Counters = &net.Metrics.Control
 	net.Adm.SetProgrammer(prog)
@@ -184,7 +202,7 @@ func FailoverPoint(p FailoverParams, spec topology.Spec, seed int64) (FailoverRe
 	// QoS admissions, spread out in time so in-flight table programs
 	// do not reject their successors.
 	src := traffic.NewSource(sl.DefaultLevels, topo.NumHosts(), seed+1)
-	eng := net.Engine
+	eng := net.Ctrl // == net.Engine in the forced det mode
 	var flows []*fabric.Flow
 	for i := 0; i < p.Conns; i++ {
 		req := src.Next()

@@ -116,6 +116,13 @@ type FaultsResult struct {
 	MaxVLRateCoV  float64 `json:"maxVLRateCoV"`
 
 	EndTimeBT int64 `json:"endTimeBT"`
+
+	// Parallel-run provenance, set only when the shards actually ran
+	// concurrently (never in single-engine or deterministic modes, so
+	// golden outputs and the cross-shard-count determinism regression
+	// keep their byte shape).
+	Parallel bool   `json:"parallel,omitempty"`
+	Windows  uint64 `json:"windows,omitempty"`
 }
 
 // drawFlapSchedule pre-draws the link-down windows from the seed: the
@@ -163,7 +170,7 @@ func Faults(p FaultParams) (FaultsResult, error) {
 
 	cfg := fabric.DefaultConfig(c.Switches, c.Payload, c.Seed)
 	cfg.Shards = c.Shards
-	cfg.ShardDeterministic = true // mid-run table programs need one engine
+	cfg.ShardDeterministic = c.ShardDet
 	net, err := fabric.New(cfg)
 	if err != nil {
 		return res, err
@@ -188,21 +195,26 @@ func Faults(p FaultParams) (FaultsResult, error) {
 	net.SetFaults(inj)
 
 	// The hardened control plane: reliable in-band programming plus the
-	// self-healing auditor, all metered into the network's counters.
+	// self-healing auditor, all metered into the network's counters and
+	// running as typed events on the control lane.
 	m := subnet.NewManager(net.Topo)
 	m.Routes = net.Routes
-	prog := subnet.NewInbandProgrammer(net.Engine, m)
+	prog := subnet.NewInbandProgrammer(net.Ctrl, m)
 	prog.Faults = inj
 	prog.Retry = p.Retry
-	prog.Counters = &net.Metrics.Control
-	aud := subnet.NewAuditor(net.Engine, prog, p.Audit)
+	prog.Counters = net.ControlCounters()
+	aud := subnet.NewAuditor(net.Ctrl, prog, p.Audit)
 	net.Adm.SetProgrammer(prog)
 	net.Adm.Down = aud.Quarantined
+	if net.Parallel() {
+		prog.ShardOf = net.PortShard
+		prog.HomeShard = net.PortShard(admission.SwitchPortID(m.HomeSwitch, 0))
+	}
 
 	arrivals := drawChurnArrivals(c, net.Topo.NumHosts())
 	drawFlapSchedule(p, net.Topo, inj, arrivals[len(arrivals)-1].at)
 
-	eng := net.Engine
+	eng := net.Ctrl
 	var auditErr error
 	audit := func(stage string) {
 		if auditErr != nil {
@@ -267,7 +279,7 @@ func Faults(p FaultParams) (FaultsResult, error) {
 	sample = func() {
 		var rates [arbtable.NumVLs]int64
 		for vl := 0; vl < arbtable.NumVLs; vl++ {
-			cur := net.Metrics.VL[vl].Bytes
+			cur := net.VLBytes(vl)
 			rates[vl] = cur - prev[vl]
 			prev[vl] = cur
 		}
@@ -278,7 +290,7 @@ func Faults(p FaultParams) (FaultsResult, error) {
 	}
 	eng.After(c.SampleBT, sample)
 
-	eng.RunWhile(func() bool { return auditErr == nil })
+	net.RunWhile(func() bool { return auditErr == nil })
 	if auditErr != nil {
 		return res, auditErr
 	}
@@ -339,6 +351,10 @@ func Faults(p FaultParams) (FaultsResult, error) {
 	res.Injected = inj.Stats()
 	res.MeanVLRateCoV, res.MaxVLRateCoV = vlRateCoV(samples)
 	res.EndTimeBT = eng.Now()
+	if net.Parallel() {
+		res.Parallel = true
+		res.Windows = net.Windows()
+	}
 	return res, nil
 }
 

@@ -107,9 +107,9 @@ func TestShardDetHOLPointIdentical(t *testing.T) {
 	}
 }
 
-// TestShardDetChurnFaultsIdentical: churn and fault runs force det
-// mode regardless of the shard count (mid-run table programs need one
-// engine); the results must not depend on the partition at all.
+// TestShardDetChurnFaultsIdentical: churn and fault runs in det mode
+// pin every shard to one engine, so the results must not depend on
+// the partition at all.
 func TestShardDetChurnFaultsIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep in -short mode")
@@ -119,12 +119,14 @@ func TestShardDetChurnFaultsIdentical(t *testing.T) {
 	for _, shards := range shardCounts {
 		cp := ChurnTiny()
 		cp.Shards = shards
+		cp.ShardDet = true
 		churn, err := Churn(cp)
 		if err != nil {
 			t.Fatalf("churn shards=%d: %v", shards, err)
 		}
 		fp := FaultsTiny()
 		fp.Churn.Shards = shards
+		fp.Churn.ShardDet = true
 		faults, err := Faults(fp)
 		if err != nil {
 			t.Fatalf("faults shards=%d: %v", shards, err)

@@ -52,9 +52,18 @@ type ShardBenchResult struct {
 	// the partitioner silently clamps requests above the switch count,
 	// so a row with Effective < Shards measured a smaller partition
 	// than its label suggests.
-	Effective    int     `json:"effectiveShards"`
-	Parallel     bool    `json:"parallel"`
-	Windows      uint64  `json:"windows"`
+	Effective int    `json:"effectiveShards"`
+	Parallel  bool   `json:"parallel"`
+	Windows   uint64 `json:"windows"`
+	// Synchronization work of the conservative protocol: barrier
+	// passes, barriers that ran serialized control events, and the
+	// control events so serialized.  All zero in single-engine rows.
+	Barriers   uint64 `json:"barriers"`
+	CtrlTurns  uint64 `json:"ctrlTurns"`
+	CtrlEvents uint64 `json:"ctrlEvents"`
+	// CPUs records the host parallelism the wall-clock columns were
+	// measured under (the speedup ceiling is min(shards, cpus)).
+	CPUs         int     `json:"cpus"`
 	Events       uint64  `json:"events"`
 	Delivered    int64   `json:"delivered"`
 	WallMS       float64 `json:"wallMS"`
@@ -144,6 +153,8 @@ func shardBenchRun(p ShardBenchParams, shards int) (ShardBenchResult, error) {
 		return res, fmt.Errorf("experiments: shard bench at %d shards delivered nothing", shards)
 	}
 	res.Windows = net.Windows()
+	res.Barriers, res.CtrlTurns, res.CtrlEvents = net.SyncCounters()
+	res.CPUs = runtime.NumCPU()
 	res.Events = net.ExecutedEvents()
 	res.Delivered = delivered
 	res.WallMS = float64(wall.Nanoseconds()) / 1e6

@@ -44,6 +44,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/sl"
 	"repro/internal/topology"
 )
@@ -90,9 +91,14 @@ type trackedConn struct {
 	pending bool
 }
 
+// evRecoveryPoll is the Recovery handler's detection-poll event (its
+// kind space is private, like every sim.Handler's).
+const evRecoveryPoll sim.Kind = iota
+
 // Recovery is the failure-recovery subsystem of one network.  It is
-// driven entirely by the network's engine (detection polls, activation
-// steps, re-admission retries), so runs remain deterministic.
+// driven entirely by typed events on the network's control lane
+// (detection polls, activation steps, re-admission retries), so runs
+// remain deterministic.
 type Recovery struct {
 	n   *Network
 	cfg RecoveryConfig
@@ -240,9 +246,18 @@ func (rec *Recovery) ApplySchedule(s faults.Schedule) error {
 	}
 	if !rec.pollPending && len(s) > 0 {
 		rec.pollPending = true
-		n.Engine.After(rec.cfg.PollBT, rec.poll)
+		n.Ctrl.PostAfter(rec.cfg.PollBT, rec, sim.Event{Kind: evRecoveryPoll})
 	}
 	return nil
+}
+
+// HandleEvent dispatches the recovery subsystem's control events.  It
+// implements sim.Handler.
+func (rec *Recovery) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evRecoveryPoll:
+		rec.poll()
+	}
 }
 
 // Track registers an admitted connection and its flow for displacement
@@ -351,7 +366,7 @@ func (rec *Recovery) poll() {
 	}
 	if now < rec.watchUntil {
 		rec.pollPending = true
-		n.Engine.After(rec.cfg.PollBT, rec.poll)
+		n.Ctrl.PostAfter(rec.cfg.PollBT, rec, sim.Event{Kind: evRecoveryPoll})
 	}
 }
 
@@ -665,7 +680,7 @@ func (rec *Recovery) readmit(tc *trackedConn) {
 	tc.pending = true
 	rec.pendingReadmits++
 	revival := tc.stopped
-	n.Adm.AdmitWithRetry(n.Engine, tc.conn.Req, rec.cfg.Retry, func(conn *admission.Conn, err error) {
+	n.Adm.AdmitWithRetry(n.Ctrl, tc.conn.Req, rec.cfg.Retry, func(conn *admission.Conn, err error) {
 		tc.pending = false
 		rec.pendingReadmits--
 		if err != nil {

@@ -16,14 +16,14 @@ import (
 func FuzzISLIPSchedule(f *testing.F) {
 	const P = topology.SwitchPorts
 	// Layout: P grant pointers, P accept pointers, P little-endian
-	// 16-bit request rows, one iteration byte.
-	const need = 2*P + 2*P + 1
+	// 32-bit request rows, one iteration byte.
+	const need = 2*P + 4*P + 1
 	// Seeds: reset state, saturated uniform load, colliding pointers
 	// with diagonal requests, out-of-range pointers with alternating
 	// requests.
 	f.Add(make([]byte, need))
 	saturated := make([]byte, need)
-	for i := 2 * P; i < 4*P; i++ {
+	for i := 2 * P; i < 6*P; i++ {
 		saturated[i] = 0xff
 	}
 	saturated[need-1] = 1
@@ -33,9 +33,10 @@ func FuzzISLIPSchedule(f *testing.F) {
 		diagonal[i] = 5
 	}
 	for i := 0; i < P; i++ {
-		bit := uint16(1) << (P - 1 - i)
-		diagonal[2*P+2*i] = byte(bit)
-		diagonal[2*P+2*i+1] = byte(bit >> 8)
+		bit := uint32(1) << (P - 1 - i)
+		for b := 0; b < 4; b++ {
+			diagonal[2*P+4*i+b] = byte(bit >> (8 * b))
+		}
 	}
 	diagonal[need-1] = 4
 	f.Add(diagonal)
@@ -44,12 +45,13 @@ func FuzzISLIPSchedule(f *testing.F) {
 		wild[i] = byte(200 + i)
 	}
 	for i := 0; i < P; i++ {
-		row := uint16(0xaaaa)
+		row := uint32(0xaaaaaaaa)
 		if i%2 == 1 {
-			row = 0x5555
+			row = 0x55555555
 		}
-		wild[2*P+2*i] = byte(row)
-		wild[2*P+2*i+1] = byte(row >> 8)
+		for b := 0; b < 4; b++ {
+			wild[2*P+4*i+b] = byte(row >> (8 * b))
+		}
 	}
 	wild[need-1] = 8
 	f.Add(wild)
@@ -63,11 +65,12 @@ func FuzzISLIPSchedule(f *testing.F) {
 			st.Grant[i] = data[i]
 			st.Accept[i] = data[P+i]
 		}
-		var req [P]uint16
+		var req [P]uint32
 		for i := 0; i < P; i++ {
-			req[i] = uint16(data[2*P+2*i]) | uint16(data[2*P+2*i+1])<<8
+			req[i] = uint32(data[2*P+4*i]) | uint32(data[2*P+4*i+1])<<8 |
+				uint32(data[2*P+4*i+2])<<16 | uint32(data[2*P+4*i+3])<<24
 		}
-		iters := int(data[4*P])%(2*P) + 1
+		iters := int(data[6*P])%(2*P) + 1
 
 		for pass := 0; pass < 4; pass++ {
 			before := st

@@ -118,7 +118,16 @@ type Network struct {
 	Routes  *routing.Routes
 	Mapping sl.Mapping
 	Engine  *sim.Engine
-	Adm     *admission.Controller
+	// Ctrl is the engine control-plane work runs on: MAD block flights
+	// and acks, retransmit timers, audit probes, admission transactions
+	// and connection-release polls.  In single-engine modes it aliases
+	// Engine, so control events interleave with data events exactly as
+	// they always did; in parallel mode it is the coordinator's
+	// serialized control lane (see sim.Coordinator), executed only at
+	// window barriers where every shard is quiescent.  Data-plane
+	// events must never schedule onto it.
+	Ctrl *sim.Engine
+	Adm  *admission.Controller
 
 	switches []*swNode
 	hosts    []*hostNode
@@ -137,6 +146,18 @@ type Network struct {
 	shards   []*shard
 	parallel bool
 	coord    *sim.Coordinator
+
+	// minWire is the smallest packet wire time over all flows ever
+	// attached (0 until the first one); the coordinator lookahead is
+	// LinkLatency+minWire, updated when a flow attaches mid-run.
+	minWire int
+
+	// ctrlMetrics is the control lane's private counter set in
+	// parallel mode (syncMetrics rebuilds the merged Network.Metrics
+	// from the per-shard sets, which would wipe counters written there
+	// directly); nil in single-engine modes, where the control plane
+	// writes straight into Network.Metrics.
+	ctrlMetrics *metrics.Metrics
 
 	poolDisabled bool
 
@@ -215,6 +236,9 @@ func (n *Network) EnableMetrics() *metrics.Metrics {
 			} else {
 				sh.metrics = n.Metrics
 			}
+		}
+		if n.parallel {
+			n.ctrlMetrics = metrics.New()
 		}
 		for h, node := range n.hosts {
 			node.out.arb.SetMetrics(&n.shardForHost(h).metrics.Arb)
@@ -357,6 +381,15 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		part:        part,
 		parallel:    parallel,
 	}
+	// The control lane: the shared engine itself in single-engine
+	// modes (exactly the old interleaving), a separate serialized
+	// engine in parallel mode.  Control populations are small — a few
+	// in-flight MADs and timers per open transaction.
+	n.Ctrl = eng
+	if parallel {
+		n.Ctrl = &sim.Engine{}
+		n.Ctrl.Grow(256)
+	}
 	// One shard per partition part.  Single-engine modes (one shard,
 	// or ShardDeterministic) share Engine across all shards, so the
 	// event interleaving is exactly the unsharded one; parallel mode
@@ -495,6 +528,12 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 			s.voq = &voqState{}
 		}
 		if n.model == ModelVOQMWM {
+			// The oracle's subset DP is O(P²·2^P); past 16 ports the
+			// tables alone are gigabytes, so the full-radix shapes must
+			// use a practical scheduler.
+			if topo.Ports() > 16 {
+				return nil, fmt.Errorf("fabric: the MWM oracle supports radix <= 16 switches, topology has radix %d (use wrr or voq-islip)", topo.Ports())
+			}
 			if parallel {
 				for _, sh := range n.shards {
 					sh.mwm = newMWMScratch(topo.Ports())
@@ -530,14 +569,32 @@ func (n *Network) bindVL(f *Flow) *Flow {
 	return f
 }
 
+// attach registers a freshly built flow and feeds its packet wire time
+// into the lookahead bound.  Flows attach before a run or from control
+// events at window barriers, never from data-plane events, so the
+// flows slice and the coordinator are safe to touch here.
+func (n *Network) attach(f *Flow) *Flow {
+	n.flows = append(n.flows, f)
+	if n.minWire == 0 || f.Wire < n.minWire {
+		n.minWire = f.Wire
+		if n.coord != nil {
+			// A smaller packet can cross a boundary sooner than the
+			// current window width assumes; shrink before it exists.
+			// (Raising for larger flows would be wrong: earlier small
+			// flows still have packets in flight.)
+			n.coord.Lookahead = n.lookaheadBound()
+		}
+	}
+	return f
+}
+
 // AddConnection attaches a CBR traffic flow for an admitted QoS
 // connection.
 func (n *Network) AddConnection(conn *admission.Conn) *Flow {
 	f := n.bindVL(newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
 		conn.Req.Level.SL, n.Mapping.VLFor(conn.Req.Level.SL),
 		conn.Req.Mbps, n.Cfg.PayloadBytes, conn.Deadline, true))
-	n.flows = append(n.flows, f)
-	return f
+	return n.attach(f)
 }
 
 // AddMisbehavingConnection attaches a flow for an admitted connection
@@ -548,8 +605,7 @@ func (n *Network) AddMisbehavingConnection(conn *admission.Conn, actualMbps floa
 	f := n.bindVL(newFlow(len(n.flows), conn.Req.Src, conn.Req.Dst,
 		conn.Req.Level.SL, n.Mapping.VLFor(conn.Req.Level.SL),
 		actualMbps, n.Cfg.PayloadBytes, conn.Deadline, true))
-	n.flows = append(n.flows, f)
-	return f
+	return n.attach(f)
 }
 
 // AddVBRConnection attaches a variable-bit-rate flow for an admitted
@@ -586,16 +642,14 @@ func (n *Network) AddVBRConnection(conn *admission.Conn, peakFactor float64, bur
 func (n *Network) AddManagement(src, dst int, mbps float64) *Flow {
 	f := n.bindVL(newFlow(len(n.flows), src, dst, arbtable.MgmtVL, arbtable.MgmtVL,
 		mbps, n.Cfg.PayloadBytes, 0, false))
-	n.flows = append(n.flows, f)
-	return f
+	return n.attach(f)
 }
 
 // AddBestEffort attaches a best-effort background flow.
 func (n *Network) AddBestEffort(be traffic.BestEffort) *Flow {
 	f := n.bindVL(newFlow(len(n.flows), be.Src, be.Dst, be.SL, n.Mapping.VLFor(be.SL),
 		be.Mbps, n.Cfg.PayloadBytes, 0, false))
-	n.flows = append(n.flows, f)
-	return f
+	return n.attach(f)
 }
 
 // Flows returns all attached flows.
@@ -643,12 +697,59 @@ func (n *Network) StartFlow(f *Flow) {
 		phase = n.rng.Int63n(f.IAT)
 	}
 	sh := n.shardForHost(f.Src)
-	sh.eng.Post(sh.eng.Now()+phase, sh, sim.Event{Kind: evGenerate, P: f})
+	at := sh.eng.Now()
+	if n.parallel && n.Ctrl.Now() > at {
+		// Called from a control event: the shard clock is the barrier
+		// time, which lags the control clock when the shard was idle.
+		// Start no earlier than the admission that triggered us.
+		at = n.Ctrl.Now()
+	}
+	sh.eng.Post(at+phase, sh, sim.Event{Kind: evGenerate, P: f})
 }
 
 // StopGeneration stops all sources after their current packet; used by
 // drain tests and at the end of measurement.
 func (n *Network) StopGeneration() { n.genStopped = true }
+
+// Control-lane event kinds handled by the Network itself (a Handler's
+// kind space is private, so these never collide with the shard kinds
+// in events.go).
+const (
+	// evCtrlReleasePoll re-checks whether a stopping connection's
+	// in-flight packets have drained; P is the *releaseWait.
+	evCtrlReleasePoll sim.Kind = iota
+)
+
+// releaseWait is one pending connection teardown, polled on the
+// control lane until the flow's in-flight packets drain.
+type releaseWait struct {
+	conn   *admission.Conn
+	f      *Flow
+	onDone func()
+}
+
+// HandleEvent executes the Network's control-lane events.  They run on
+// Ctrl: interleaved with everything else in single-engine modes, only
+// at window barriers in parallel mode — where reading the flow's
+// source- and destination-shard counters and mutating the admission
+// tables is race-free because every shard is quiescent.
+func (n *Network) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evCtrlReleasePoll:
+		rw := ev.P.(*releaseWait)
+		f := rw.f
+		if f.delPkts+f.lostPkts < f.genPkts {
+			n.Ctrl.PostAfter(f.IAT+1, n, ev)
+			return
+		}
+		if err := n.Adm.Release(rw.conn); err != nil {
+			panic(fmt.Sprintf("fabric: releasing drained connection: %v", err))
+		}
+		if rw.onDone != nil {
+			rw.onDone()
+		}
+	}
+}
 
 // ReleaseConnection tears down an admitted connection while the fabric
 // runs: the flow stops generating immediately, and once its in-flight
@@ -658,20 +759,34 @@ func (n *Network) StopGeneration() { n.genStopped = true }
 // nil, runs right after the tables are updated.
 func (n *Network) ReleaseConnection(conn *admission.Conn, f *Flow, onDone func()) {
 	f.stopped = true
-	var poll func()
-	poll = func() {
-		if f.delPkts+f.lostPkts < f.genPkts {
-			n.Engine.After(f.IAT+1, poll)
-			return
-		}
-		if err := n.Adm.Release(conn); err != nil {
-			panic(fmt.Sprintf("fabric: releasing drained connection: %v", err))
-		}
-		if onDone != nil {
-			onDone()
-		}
+	n.Ctrl.DeferEvent(n, sim.Event{
+		Kind: evCtrlReleasePoll, P: &releaseWait{conn: conn, f: f, onDone: onDone},
+	})
+}
+
+// ControlCounters returns the counter set the control plane — the
+// subnet programmer, the auditor, failure recovery — should write
+// into: the shared Metrics.Control in single-engine modes (the exact
+// pointer callers always used), or the control lane's private set in
+// parallel mode, which syncMetrics folds into the merged view.
+// Enables metrics on first use.
+func (n *Network) ControlCounters() *metrics.ControlCounters {
+	n.EnableMetrics()
+	if n.parallel {
+		return &n.ctrlMetrics.Control
 	}
-	n.Engine.Defer(poll)
+	return &n.Metrics.Control
+}
+
+// PortShard returns the shard id owning an arbitration port: the
+// switch's shard for a switch port, the attachment switch's shard for
+// a host interface.  The programmer and auditor use it to count
+// control sends whose target lives off the manager's home shard.
+func (n *Network) PortShard(id admission.PortID) int {
+	if id.Switch >= 0 {
+		return n.part.ShardOfSwitch(id.Switch)
+	}
+	return n.part.ShardOfHost(id.Host)
 }
 
 // generate creates one packet of f, enqueues it at the source host and

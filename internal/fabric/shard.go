@@ -161,17 +161,14 @@ func (n *Network) flushBoundary() {
 	}
 }
 
-// minLookahead computes the synchronization window width: link latency
-// plus the smallest packet wire time any flow can put on a boundary
-// link.  Recomputed at every run entry so flows attached between runs
-// are covered.
-func (n *Network) minLookahead() int64 {
-	minWire := int64(0)
-	for _, f := range n.flows {
-		if w := int64(f.Wire); minWire == 0 || w < minWire {
-			minWire = w
-		}
-	}
+// lookaheadBound computes the synchronization window width: link
+// latency plus the smallest packet wire time any attached flow can put
+// on a boundary link (Network.attach maintains the minimum, including
+// for flows attached mid-run at barriers).  With no flows yet the
+// bound degenerates to LinkLatency+1 — conservative, since every real
+// packet crossing takes at least its wire time on top of the latency.
+func (n *Network) lookaheadBound() int64 {
+	minWire := int64(n.minWire)
 	if minWire == 0 {
 		minWire = 1
 	}
@@ -190,9 +187,9 @@ func (n *Network) coordinator() *sim.Coordinator {
 		for i, sh := range n.shards {
 			engines[i] = sh.eng
 		}
-		n.coord = &sim.Coordinator{Engines: engines, Flush: n.flushBoundary}
+		n.coord = &sim.Coordinator{Engines: engines, Control: n.Ctrl, Flush: n.flushBoundary}
 	}
-	n.coord.Lookahead = n.minLookahead()
+	n.coord.Lookahead = n.lookaheadBound()
 	return n.coord
 }
 
@@ -249,18 +246,50 @@ func (n *Network) ShardRecordCapacities() []int {
 }
 
 // ExecutedEvents sums the executed-event counts of every shard engine
-// (the throughput numerator of the sharding benchmark).
+// — plus the control lane's in parallel mode, where it is a separate
+// engine — (the throughput numerator of the sharding benchmark).
 func (n *Network) ExecutedEvents() uint64 {
 	var total uint64
 	for _, sh := range n.shards {
 		total += sh.eng.Executed()
 	}
+	if n.parallel {
+		total += n.Ctrl.Executed()
+	}
 	return total
 }
 
+// SyncCounters reports the coordinator's synchronization work:
+// barrier passes, control turns (barriers that executed control
+// events) and control events serialized to barriers.  All zero in
+// single-engine modes.
+func (n *Network) SyncCounters() (barriers, controlTurns, controlEvents uint64) {
+	if n.coord == nil {
+		return 0, 0, 0
+	}
+	return n.coord.Barriers, n.coord.ControlTurns, n.coord.ControlEvents
+}
+
+// VLBytes returns the bytes arbitrated on one VL so far.  In parallel
+// mode it sums the live per-shard counters — the merged Metrics set is
+// rebuilt only after a Run, so a mid-run sampler on the control lane
+// would otherwise read stale values.  Requires EnableMetrics.
+func (n *Network) VLBytes(vl int) int64 {
+	if !n.parallel {
+		return n.Metrics.VL[vl].Bytes
+	}
+	var b int64
+	for _, sh := range n.shards {
+		if sh.metrics != nil {
+			b += sh.metrics.VL[vl].Bytes
+		}
+	}
+	return b
+}
+
 // syncMetrics rebuilds the merged Network.Metrics from the per-shard
-// sets after a parallel run.  Counters are integers, so the merge is
-// exact.
+// sets and the control lane's set after a parallel run.  Counters are
+// integers, so the merge is exact.
 func (n *Network) syncMetrics() {
 	if n.Metrics == nil {
 		return
@@ -268,5 +297,11 @@ func (n *Network) syncMetrics() {
 	*n.Metrics = metrics.Metrics{}
 	for _, sh := range n.shards {
 		n.Metrics.Merge(sh.metrics)
+	}
+	if n.ctrlMetrics != nil {
+		if n.coord != nil {
+			n.ctrlMetrics.Control.CrossShardDeferred = int64(n.coord.ControlEvents)
+		}
+		n.Metrics.Merge(n.ctrlMetrics)
 	}
 }

@@ -105,7 +105,7 @@ type ISLIPState struct {
 // pairs are locked for the remaining iterations.  Out-of-range
 // pointer values (a desynchronized or fuzzed state) are reduced mod
 // the port count rather than trusted.
-func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint16, iters int, match *[topology.SwitchPorts]int8) int {
+func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint32, iters int, match *[topology.SwitchPorts]int8) int {
 	const P = topology.SwitchPorts
 	for j := range match {
 		match[j] = -1
@@ -113,11 +113,11 @@ func (st *ISLIPState) Match(req *[topology.SwitchPorts]uint16, iters int, match 
 	if iters < 1 {
 		iters = 1
 	}
-	var inMatched uint16
+	var inMatched uint32
 	size := 0
 	for it := 0; it < iters && size < P; it++ {
 		// Grant phase.
-		var grants [P]uint16 // per input: outputs granting it this round
+		var grants [P]uint32 // per input: outputs granting it this round
 		granted := false
 		for j := 0; j < P; j++ {
 			if match[j] >= 0 {
@@ -381,7 +381,7 @@ func (sh *shard) voqSched(s int) {
 	capacity := n.bufferCapacity()
 
 	// Output availability: wired, link idle, outside fault windows.
-	var outFree uint16
+	var outFree uint32
 	for j := 0; j < P; j++ {
 		out := &node.out[j]
 		if !out.wired || out.busyUntil > now {
@@ -395,7 +395,7 @@ func (sh *shard) voqSched(s int) {
 		}
 		outFree |= 1 << j
 	}
-	var inFree uint16
+	var inFree uint32
 	for i := 0; i < P; i++ {
 		if node.in[i].busyUntil <= now {
 			inFree |= 1 << i
@@ -433,7 +433,7 @@ func (sh *shard) voqSched(s int) {
 	}
 
 	// Request matrix over the data VLs.
-	var req [P]uint16
+	var req [P]uint32
 	backlogged := 0
 	for i := 0; i < P; i++ {
 		if inFree&(1<<i) == 0 {

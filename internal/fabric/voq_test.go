@@ -19,7 +19,7 @@ const pM = topology.IrregularPorts
 // matching of req: every matched pair was requested, no input is
 // matched to two outputs, and the reported size is the matched-output
 // count.
-func checkPartialMatching(t *testing.T, req *[pP]uint16, match *[pP]int8, size int) {
+func checkPartialMatching(t *testing.T, req *[pP]uint32, match *[pP]int8, size int) {
 	t.Helper()
 	var inSeen [pP]bool
 	count := 0
@@ -47,7 +47,7 @@ func checkPartialMatching(t *testing.T, req *[pP]uint16, match *[pP]int8, size i
 
 // checkMaximal fails unless no request edge could be added to the
 // matching (both endpoints free) — the definition of maximality.
-func checkMaximal(t *testing.T, req *[pP]uint16, match *[pP]int8) {
+func checkMaximal(t *testing.T, req *[pP]uint32, match *[pP]int8) {
 	t.Helper()
 	var inMatched [pP]bool
 	for j := 0; j < pP; j++ {
@@ -68,8 +68,8 @@ func checkMaximal(t *testing.T, req *[pP]uint16, match *[pP]int8) {
 }
 
 // randomRequests draws a request matrix with the given edge density.
-func randomRequests(rng *rand.Rand, density float64) [pP]uint16 {
-	var req [pP]uint16
+func randomRequests(rng *rand.Rand, density float64) [pP]uint32 {
+	var req [pP]uint32
 	for i := 0; i < pP; i++ {
 		for j := 0; j < pP; j++ {
 			if rng.Float64() < density {
@@ -113,9 +113,9 @@ func TestISLIPMatchingValid(t *testing.T) {
 // headline property of the algorithm.
 func TestISLIPUniformBacklogConverges(t *testing.T) {
 	var st ISLIPState
-	var req [pP]uint16
+	var req [pP]uint32
 	for i := range req {
-		req[i] = 0xffff
+		req[i] = 0xffffffff
 	}
 	var match [pP]int8
 	prev := 0
@@ -163,9 +163,9 @@ func TestISLIPDesynchronizedPointersConverge(t *testing.T) {
 			}
 		},
 	}
-	var req [pP]uint16
+	var req [pP]uint32
 	for i := range req {
-		req[i] = 0xffff
+		req[i] = 0xffffffff
 	}
 	for name, setup := range fixtures {
 		t.Run(name, func(t *testing.T) {
@@ -307,7 +307,7 @@ func TestISLIPAtLeastHalfOfMWM(t *testing.T) {
 			// unweighted scheduler's weight can be driven arbitrarily
 			// low, which is exactly why the MWM oracle is worth having.
 			var w [pP][pP]int32
-			var req [pP]uint16
+			var req [pP]uint32
 			for i := 0; i < pM; i++ {
 				for j := 0; j < pM; j++ {
 					if rng.Float64() < 0.5 {

@@ -72,6 +72,18 @@ type ControlCounters struct {
 	// RepairTime observes failure-detection-to-activation latency in
 	// byte times, one observation per completed repair.
 	RepairTime *Hist `json:"timeToRepair,omitempty"`
+
+	// Sharded control plane (the coordinator's serialized control
+	// lane).  Both omitempty and only nonzero in true-parallel runs,
+	// so single-engine snapshots keep their exact byte shape.
+	//
+	// CrossShardSent counts control sends (MAD blocks, audit probes)
+	// whose target switch lives on a different shard than the subnet
+	// manager's home shard; CrossShardDeferred counts control events
+	// whose execution was serialized to a window barrier by the
+	// coordinator's control lane.
+	CrossShardSent     int64 `json:"crossShardSent,omitempty"`
+	CrossShardDeferred int64 `json:"crossShardDeferred,omitempty"`
 }
 
 // Zero reports whether no control-plane fault activity was counted.
@@ -111,6 +123,8 @@ func (c *ControlCounters) Add(o ControlCounters) {
 	c.PacketsReinjected += o.PacketsReinjected
 	c.PacketsLost += o.PacketsLost
 	c.FlowsDisplaced += o.FlowsDisplaced
+	c.CrossShardSent += o.CrossShardSent
+	c.CrossShardDeferred += o.CrossShardDeferred
 	if o.RepairTime != nil {
 		if c.RepairTime == nil {
 			c.RepairTime = &Hist{}

@@ -26,13 +26,47 @@ import (
 // All engines share one clock value at every barrier (Engine.Run
 // advances the clock to the horizon even when idle), so observers
 // reading between windows see a consistent fabric-wide time.
+//
+// # The control lane
+//
+// A Coordinator may additionally carry a Control engine: a serialized
+// lane for control-plane events (subnet-management deliveries, acks,
+// retransmit timeouts, audit probes, admission transactions) that must
+// read or mutate state owned by arbitrary shards.  Control events
+// never run concurrently with a data window.  At every barrier, while
+// all shard engines are quiescent, the coordinator runs the control
+// lane for as long as it holds the globally earliest pending work
+// (ties go to control); data windows are then capped so they never
+// run past the next pending control event.  A control event therefore
+// observes a consistent fabric-wide state — every shard stopped at a
+// common barrier time strictly before it — and may safely touch any
+// shard's tables or post new events into any (quiescent) engine.
+//
+// The serialization is exact, not approximate: the interleaving of
+// control events and data events respects global timestamps (control
+// first on ties), so runs remain deterministic for a fixed shard
+// count.  Control events are expected to be sparse relative to data
+// events — in the fabric their spacing is bounded below by the MAD
+// wire latency of the management path, which exceeds the data-plane
+// lookahead — so the window capping costs little.
+//
+// Only control events (or code running between Run calls) may schedule
+// onto the control engine; data events must never touch it, or the
+// lane's quiescence guarantee is lost.
 type Coordinator struct {
 	// Engines are the per-shard event engines, index = shard id.
 	Engines []*Engine
 
+	// Control, when non-nil, is the serialized control lane described
+	// in the type comment.  It is run only at barriers, never
+	// concurrently with a window.
+	Control *Engine
+
 	// Lookahead is the window width in byte times (>= 1): a lower
 	// bound on the delay between an event executing on one shard and
-	// the earliest cross-shard event it can cause.
+	// the earliest cross-shard event it can cause.  It is re-read at
+	// every window, so it may shrink mid-run (e.g. when a flow with a
+	// smaller packet wire time attaches at a barrier).
 	Lookahead int64
 
 	// Flush, when non-nil, runs at every barrier while all engines
@@ -43,6 +77,14 @@ type Coordinator struct {
 
 	// Windows counts completed barrier-to-barrier windows.
 	Windows uint64
+
+	// Barriers counts barrier passes (flush + control turn + window
+	// decision); ControlTurns counts barriers that executed at least
+	// one control event and ControlEvents the control events so
+	// executed.
+	Barriers      uint64
+	ControlTurns  uint64
+	ControlEvents uint64
 }
 
 // minNext returns the earliest pending event time across all engines,
@@ -69,16 +111,19 @@ func (c *Coordinator) Run(until int64) { c.run(until, nil) }
 func (c *Coordinator) RunWhile(cond func() bool) { c.run(math.MaxInt64, cond) }
 
 func (c *Coordinator) run(until int64, cond func() bool) {
-	lookahead := c.Lookahead
-	if lookahead < 1 {
-		lookahead = 1
-	}
 	for {
 		if c.Flush != nil {
 			c.Flush()
 		}
+		c.Barriers++
 		if cond != nil && !cond() {
 			return
+		}
+		if c.Control != nil && c.controlTurn(until) {
+			// Control work ran at this barrier and may have produced
+			// new data events or boundary traffic: flush and re-check
+			// the condition before committing to a window.
+			continue
 		}
 		t := c.minNext()
 		if t == math.MaxInt64 || t > until {
@@ -89,12 +134,29 @@ func (c *Coordinator) run(until int64, cond func() bool) {
 				for _, e := range c.Engines {
 					e.Run(until)
 				}
+				if c.Control != nil {
+					c.Control.Run(until)
+				}
 			}
 			return
+		}
+		lookahead := c.Lookahead
+		if lookahead < 1 {
+			lookahead = 1
 		}
 		w := t + lookahead - 1
 		if w > until || w < t { // w < t: overflow guard
 			w = until
+		}
+		if c.Control != nil {
+			// Never run a window past the next pending control event:
+			// it must execute at a barrier with every shard stopped at
+			// a time strictly before it.  After the control turn above,
+			// the lane's next time tc exceeds t, so tc-1 >= t and the
+			// window stays non-empty.
+			if tc := c.Control.NextTime(); tc != math.MaxInt64 && tc-1 < w {
+				w = tc - 1
+			}
 		}
 		if len(c.Engines) == 1 {
 			c.Engines[0].Run(w)
@@ -118,4 +180,29 @@ func (c *Coordinator) run(until int64, cond func() bool) {
 		}
 		c.Windows++
 	}
+}
+
+// controlTurn runs the control lane while it holds the globally
+// earliest pending work — ties against the data minimum go to control
+// — up to and including until.  Every shard engine is quiescent for
+// the duration (the caller only invokes this between windows), so the
+// executed events may touch any shard's state and schedule into any
+// engine.  The data minimum is re-read after every step because a
+// control event may post new data work.  Reports whether any control
+// event ran.
+func (c *Coordinator) controlTurn(until int64) bool {
+	ran := false
+	for {
+		tc := c.Control.NextTime()
+		if tc == math.MaxInt64 || tc > until || tc > c.minNext() {
+			break
+		}
+		c.Control.Step()
+		c.ControlEvents++
+		ran = true
+	}
+	if ran {
+		c.ControlTurns++
+	}
+	return ran
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mad"
 	"repro/internal/sim"
 )
@@ -54,7 +55,8 @@ type auditState struct {
 }
 
 // Auditor owns the quarantine set and the read-back rounds.  Like the
-// programmer it runs on the engine goroutine of one simulation.
+// programmer, every audit action is a typed event on its engine (the
+// fabric's control lane in parallel runs).
 type Auditor struct {
 	Engine *sim.Engine
 	Prog   *InbandProgrammer
@@ -65,6 +67,63 @@ type Auditor struct {
 	Costs Costs
 
 	state map[admission.PortID]*auditState
+}
+
+// Typed-event kinds of the audit path (the Auditor's own handler kind
+// space, independent of the programmer's).
+const (
+	// evAuditRound starts one read-back round; P is the *auditState.
+	evAuditRound sim.Kind = iota
+	// evAuditProbe lands one Get at the port: block index in A, and
+	// the round plus the response path's pre-drawn fate in P
+	// (*auditProbe).
+	evAuditProbe
+	// evAuditResp lands one GetResp back at the SM: block index in A,
+	// round and fate in P (*auditProbe).
+	evAuditResp
+	// evAuditScore scores a finished round; P is the *auditRound.
+	evAuditScore
+)
+
+// auditRound is one in-flight read-back round: the score its probes
+// accumulate and the path cost they share.
+type auditRound struct {
+	st     *auditState
+	got    int
+	oneWay int64
+}
+
+// auditProbe is one probe of a round, carrying the response path's
+// fate from the send-time draw to the response events.
+type auditProbe struct {
+	rnd *auditRound
+	rf  faults.Fate
+}
+
+// HandleEvent dispatches the auditor's control events.  It implements
+// sim.Handler.
+func (a *Auditor) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evAuditRound:
+		a.round(ev.P.(*auditState))
+	case evAuditProbe:
+		pr := ev.P.(*auditProbe)
+		link := linkKey(pr.rnd.st.id)
+		now := a.Engine.Now()
+		if pr.rf.Drop || a.Prog.Faults.DownUntil(link, now) > now {
+			a.Prog.counters().AcksLost++
+			return
+		}
+		a.Engine.PostAfter(madWireBytes+pr.rnd.oneWay+pr.rf.DelayBT, a,
+			sim.Event{Kind: evAuditResp, A: ev.A, P: pr})
+	case evAuditResp:
+		pr := ev.P.(*auditProbe)
+		if a.readBack(pr.rnd.st, int(ev.A)) {
+			pr.rnd.got++
+		}
+	case evAuditScore:
+		a.finishRound(ev.P.(*auditRound))
+	}
 }
 
 // NewAuditor returns an auditor wired to the programmer's give-up hook.
@@ -123,7 +182,7 @@ func (a *Auditor) PortGaveUp(id admission.PortID, pt *core.PortTable) {
 	}
 	st.active = true
 	st.rounds = 0
-	a.Engine.After(a.Config.BackoffBT, func() { a.round(st) })
+	a.Engine.PostAfter(a.Config.BackoffBT, a, sim.Event{Kind: evAuditRound, P: st})
 }
 
 // round sends one Get(VLArbitrationTable) read-back: every block of the
@@ -145,10 +204,11 @@ func (a *Auditor) round(st *auditState) {
 	oneWay := int64(hops) * (madWireBytes + hopLatencyBT)
 	now := a.Engine.Now()
 	inj := a.Prog.Faults
-	got := 0
+	rnd := &auditRound{st: st, oneWay: oneWay}
 	var lastArrive int64
 	for b := 0; b < core.NumHighBlocks; b++ {
 		a.Costs.addMAD(hops)
+		a.Prog.noteSend(st.id)
 		serialize := int64(b+1) * madWireBytes
 		ff := inj.SMPFate(link)
 		if ff.Drop || inj.DownUntil(link, now) > now {
@@ -161,23 +221,14 @@ func (a *Auditor) round(st *auditState) {
 		// mid-round trip.
 		rf := inj.SMPFate(link)
 		arriveAt := serialize + oneWay
-		block := b
-		a.Engine.After(arriveAt, func() {
-			if rf.Drop || inj.DownUntil(link, a.Engine.Now()) > a.Engine.Now() {
-				a.Prog.counters().AcksLost++
-				return
-			}
-			a.Engine.After(madWireBytes+oneWay+rf.DelayBT, func() {
-				if a.readBack(st, block) {
-					got++
-				}
-			})
-		})
+		a.Engine.PostAfter(arriveAt, a,
+			sim.Event{Kind: evAuditProbe, A: int32(b), P: &auditProbe{rnd: rnd, rf: rf}})
 		if end := arriveAt + madWireBytes + oneWay + rf.DelayBT; end > lastArrive {
 			lastArrive = end
 		}
 	}
-	a.Engine.After(lastArrive+a.Config.ProbeTimeoutBT, func() { a.finishRound(st, &got) })
+	a.Engine.PostAfter(lastArrive+a.Config.ProbeTimeoutBT, a,
+		sim.Event{Kind: evAuditScore, P: rnd})
 }
 
 // readBack scores one GetResp: the active block travels in its real
@@ -213,9 +264,10 @@ func (a *Auditor) readBack(st *auditState, block int) bool {
 
 // finishRound scores a read-back round and decides the port's fate:
 // heal, retry with backoff, or permanent quarantine.
-func (a *Auditor) finishRound(st *auditState, got *int) {
+func (a *Auditor) finishRound(rnd *auditRound) {
+	st := rnd.st
 	st.active = false
-	if *got == core.NumHighBlocks {
+	if rnd.got == core.NumHighBlocks {
 		if st.heals >= a.Config.MaxRounds {
 			// The port keeps bouncing between healed and abandoned; stop
 			// feeding it transactions and leave it out of service.
@@ -245,5 +297,5 @@ func (a *Auditor) finishRound(st *auditState, got *int) {
 	if until := a.Prog.Faults.DownUntil(linkKey(st.id), a.Engine.Now()); until > a.Engine.Now()+backoff {
 		backoff = until - a.Engine.Now()
 	}
-	a.Engine.After(backoff, func() { a.round(st) })
+	a.Engine.PostAfter(backoff, a, sim.Event{Kind: evAuditRound, P: st})
 }

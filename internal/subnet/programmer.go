@@ -56,8 +56,33 @@ type InbandProgrammer struct {
 	// it to quarantine and later heal the port.
 	OnGiveUp func(admission.PortID, *core.PortTable)
 
+	// ShardOf, when set (parallel sharded fabrics), maps a port to the
+	// shard owning it; every SMP sent toward a port whose shard
+	// differs from HomeShard counts into Counters.CrossShardSent.  Nil
+	// — the single-engine modes — leaves the counter untouched, so
+	// existing snapshots keep their byte shape.
+	ShardOf func(admission.PortID) int
+	// HomeShard is the shard hosting the subnet manager's switch.
+	HomeShard int
+
 	txns     map[*core.PortTable]*txnState
 	restarts map[*core.PortTable]int // torn-abort restarts per port
+}
+
+// noteSend counts one SMP leaving the SM toward id, flagging it as
+// cross-shard when the target lives off the manager's home shard.
+func (p *InbandProgrammer) noteSend(id admission.PortID) {
+	if p.ShardOf != nil && p.ShardOf(id) != p.HomeShard {
+		p.counters().CrossShardSent++
+	}
+}
+
+// smpDelivery is one legacy fire-and-forget SMP in flight: the payload
+// of its evSMPArrive event.
+type smpDelivery struct {
+	id   admission.PortID
+	pt   *core.PortTable
+	wire []byte
 }
 
 // NewInbandProgrammer returns a programmer injecting SMPs into eng,
@@ -97,10 +122,12 @@ func (p *InbandProgrammer) Program(id admission.PortID, pt *core.PortTable, d co
 			return fmt.Errorf("subnet: block %d of %v: %w", b.Index, id, err)
 		}
 		p.Costs.addMAD(hops)
+		p.noteSend(id)
 		// The SM serializes its SMPs back to back; each then needs the
 		// one-way path time to the port.
 		delay := int64(k+1)*madWireBytes + int64(hops)*(madWireBytes+hopLatencyBT)
-		p.Engine.After(delay, func() { p.arrive(id, pt, wire) })
+		p.Engine.PostAfter(delay, p,
+			sim.Event{Kind: evSMPArrive, P: &smpDelivery{id: id, pt: pt, wire: wire}})
 	}
 	return nil
 }

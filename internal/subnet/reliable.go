@@ -60,10 +60,14 @@ func DefaultRetryProfile() RetryProfile {
 // reliable delivery.
 func (r RetryProfile) Enabled() bool { return r.MaxAttempts > 0 }
 
-// Typed-event kinds of the reliable control plane.  Both are armed as
-// cancelable timers: settling a transaction cancels them outright, so
-// no timer of a finished transaction ever fires (they used to linger
-// in the heap as no-op closures until their deadline passed).
+// Typed-event kinds of the programmer's control plane.  Every control
+// action — deliveries, acks, timers — is a typed event on the
+// programmer's engine, so the whole control plane can run on a
+// coordinator's serialized control lane (no closures pinned to a data
+// engine).  The two timer kinds are armed as cancelable timers:
+// settling a transaction cancels them outright, so no timer of a
+// finished transaction ever fires (they used to linger in the heap as
+// no-op closures until their deadline passed).
 const (
 	// evBlockTimeout declares the response to block A's attempt-B send
 	// lost; P is the transaction.
@@ -71,10 +75,26 @@ const (
 	// evTxnDeadline aborts the still-open transaction in P at its
 	// wall-clock deadline.
 	evTxnDeadline
+	// evSMPArrive lands a legacy fire-and-forget SMP at its port; P is
+	// the *smpDelivery.
+	evSMPArrive
+	// evSMPDeliver lands a reliable-mode SMP at its port; P is the
+	// *smpFlight.
+	evSMPDeliver
+	// evSMPAck lands a response SMP back at the SM: block index in A,
+	// torn verdict in B, transaction version in N, transaction in P.
+	evSMPAck
 )
 
-// HandleEvent dispatches the programmer's timer events.  It implements
-// sim.Handler.
+// smpFlight is one reliable-mode SMP in flight: the payload of its
+// evSMPDeliver event (a duplicated SMP gets its own payload).
+type smpFlight struct {
+	tx   *txnState
+	wire []byte
+}
+
+// HandleEvent dispatches the programmer's control events.  It
+// implements sim.Handler.
 func (p *InbandProgrammer) HandleEvent(ev sim.Event) {
 	switch ev.Kind {
 	case evBlockTimeout:
@@ -87,6 +107,15 @@ func (p *InbandProgrammer) HandleEvent(ev sim.Event) {
 		}
 		p.counters().DeadlineAborts++
 		p.giveUp(tx.pt, tx)
+	case evSMPArrive:
+		d := ev.P.(*smpDelivery)
+		p.arrive(d.id, d.pt, d.wire)
+	case evSMPDeliver:
+		fl := ev.P.(*smpFlight)
+		p.arriveReliable(fl.tx.pt, fl.tx, fl.wire)
+	case evSMPAck:
+		tx := ev.P.(*txnState)
+		p.ack(tx.pt, tx, uint64(ev.N), int(ev.A), ev.B != 0)
 	}
 }
 
@@ -206,6 +235,7 @@ func (p *InbandProgrammer) programReliable(id admission.PortID, pt *core.PortTab
 // arms its response timeout.
 func (p *InbandProgrammer) sendBlock(pt *core.PortTable, tx *txnState, k, attempt int, serializeBT int64) {
 	p.Costs.addMAD(tx.hops)
+	p.noteSend(tx.id)
 	tx.attempt[k] = attempt + 1
 	link := linkKey(tx.id)
 	now := p.Engine.Now()
@@ -231,10 +261,12 @@ func (p *InbandProgrammer) sendBlock(pt *core.PortTable, tx *txnState, k, attemp
 		p.counters().SMPsCorrupted++
 	}
 	delay := serializeBT + oneWay + fate.DelayBT
-	p.Engine.After(delay, func() { p.arriveReliable(pt, tx, wire) })
+	p.Engine.PostAfter(delay, p,
+		sim.Event{Kind: evSMPDeliver, P: &smpFlight{tx: tx, wire: wire}})
 	if fate.Duplicate {
 		p.counters().SMPsDuplicated++
-		p.Engine.After(delay+madWireBytes, func() { p.arriveReliable(pt, tx, wire) })
+		p.Engine.PostAfter(delay+madWireBytes, p,
+			sim.Event{Kind: evSMPDeliver, P: &smpFlight{tx: tx, wire: wire}})
 	}
 }
 
@@ -270,8 +302,11 @@ func (p *InbandProgrammer) arriveReliable(pt *core.PortTable, tx *txnState, wire
 		return
 	}
 	oneWay := int64(tx.hops) * (madWireBytes + hopLatencyBT)
-	version := pkt.Header.TID
-	p.Engine.After(madWireBytes+oneWay+rf.DelayBT, func() { p.ack(pt, tx, version, index, torn) })
+	ack := sim.Event{Kind: evSMPAck, A: int32(index), N: int64(pkt.Header.TID), P: tx}
+	if torn {
+		ack.B = 1
+	}
+	p.Engine.PostAfter(madWireBytes+oneWay+rf.DelayBT, p, ack)
 }
 
 // ack lands a response SMP at the coordinator.  Responses of settled or

@@ -50,17 +50,26 @@ func TestFatTreeShape(t *testing.T) {
 	if _, err := topology.GenerateFatTree(3); err == nil {
 		t.Error("odd arity accepted")
 	}
-	if _, err := topology.GenerateFatTree(18); err == nil {
+	if _, err := topology.GenerateFatTree(34); err == nil {
 		t.Error("arity beyond the radix accepted")
 	}
-	// k in (8, 16] wires ports beyond the 8-port radix, so the
-	// topology must report the full-radix port count.
+	// k in (8, 16] wires ports beyond the 8-port radix but stays
+	// within the middle tier, so the topology must keep reporting the
+	// 16-port radix it had before the array cap was raised to 32.
 	big, err := topology.GenerateFatTree(16)
 	if err != nil {
 		t.Fatalf("k=16: %v", err)
 	}
-	if got := big.Ports(); got != topology.SwitchPorts {
-		t.Errorf("k=16 fat-tree radix %d, want %d", got, topology.SwitchPorts)
+	if got := big.Ports(); got != 16 {
+		t.Errorf("k=16 fat-tree radix %d, want 16", got)
+	}
+	// k beyond 16 climbs into the full-radix tier.
+	full, err := topology.GenerateFatTree(32)
+	if err != nil {
+		t.Fatalf("k=32: %v", err)
+	}
+	if got := full.Ports(); got != topology.SwitchPorts {
+		t.Errorf("k=32 fat-tree radix %d, want %d", got, topology.SwitchPorts)
 	}
 	small, err := topology.GenerateFatTree(4)
 	if err != nil {
@@ -122,7 +131,7 @@ func TestDragonflyShape(t *testing.T) {
 			}
 		}
 	}
-	if _, err := topology.GenerateDragonfly(16, 1, 1); err == nil {
+	if _, err := topology.GenerateDragonfly(32, 1, 1); err == nil {
 		t.Error("dragonfly beyond the radix accepted")
 	}
 	if _, err := topology.GenerateDragonfly(0, 1, 1); err == nil {

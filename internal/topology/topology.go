@@ -22,8 +22,14 @@ const (
 	// SwitchPorts is the maximum number of ports per switch — the
 	// radix cap every generator must fit into and the size of every
 	// per-port array.  A topology that wires only low ports reports
-	// the smaller radix through Ports().
-	SwitchPorts = 16
+	// a smaller radix through Ports().
+	SwitchPorts = 32
+	// midPorts is the middle radix tier Ports() reports for shapes
+	// that outgrow the 8-port switches but fit 16 ports (e.g. the
+	// k=16 fat-tree).  Keeping the tier exact preserves those shapes'
+	// radix-derived behavior — trace strides, probe scans — bit for
+	// bit across raises of the SwitchPorts cap.
+	midPorts = 16
 	// IrregularPorts is the radix of the paper's irregular-class
 	// switches (section 4.1 uses 8-port switches).  The irregular
 	// generator never wires a port at or above it, which keeps its
@@ -68,15 +74,19 @@ type Topology struct {
 	maxPort int
 }
 
-// Ports returns the switch radix of this topology: IrregularPorts when
-// every wired port fits the paper's 8-port switches (every pre-existing
-// shape does), SwitchPorts otherwise.  Radix-dependent consumers —
-// trace-ID strides, subnet-management port scans, matching scratch
-// sizing — key off this so small fabrics keep their 8-port behavior
-// bit-for-bit while large structured shapes get the full radix.
+// Ports returns the switch radix of this topology: the smallest tier
+// of {IrregularPorts, midPorts, SwitchPorts} that fits every wired
+// port.  Radix-dependent consumers — trace-ID strides, subnet-
+// management port scans, matching scratch sizing — key off this so
+// small fabrics keep their 8-port behavior bit-for-bit (and 16-port
+// shapes their 16-port behavior) while the largest structured shapes
+// get the full radix.
 func (t *Topology) Ports() int {
-	if t.maxPort < IrregularPorts {
+	switch {
+	case t.maxPort < IrregularPorts:
 		return IrregularPorts
+	case t.maxPort < midPorts:
+		return midPorts
 	}
 	return SwitchPorts
 }

@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
 # bench.sh — performance benchmark harness.
 #
-# Emits BENCH_PR7.json with three sections:
+# Emits BENCH_PR9.json with four sections:
 #
 #   hotpaths    the data-plane micro-benchmarks (arbiter pick, per-hop
 #               forwarding, raw engine throughput) with -benchmem,
 #               next to the checked-in PR4 baseline — the typed-event
 #               engine's perf claim (0 allocs/op on the packet path)
 #               stays reproducible with one command.
-#   shardedCore events/sec of the sharded simulation core on a k=8
+#   shardedCore events/sec of the sharded simulation core on a k=32
 #               fat-tree at high load, -shards 4 vs the single-engine
-#               baseline (ibsim -exp shardbench).  The report's "cpus"
-#               field bounds the achievable speedup at min(shards,
-#               cpus): with >= 4 CPUs the 4-shard row is expected at
-#               >= 2x the single-engine events/sec; on fewer cores the
-#               same rows measure the sync protocol's overhead instead
-#               (expected within ~25% of the single-engine rate).
+#               baseline (ibsim -exp shardbench).  Every row carries
+#               the per-window sync counters (barriers, ctrlTurns,
+#               ctrlEvents) and the host "cpus" count, which bounds
+#               the achievable speedup at min(shards, cpus): with
+#               >= 4 CPUs the 4-shard row is expected at >= 2x the
+#               single-engine events/sec; on fewer cores the same rows
+#               measure the sync protocol's overhead instead (expected
+#               within ~25% of the single-engine rate).
+#   dragonfly   a multi-thousand-switch dragonfly (a=16, p=8, h=8:
+#               2064 switches, 16512 hosts) under -shards 4 —
+#               completion at scale is the acceptance signal.
 #   scaleCheck  a k=16 fat-tree (320 switches, 1024 hosts) run under
-#               -shards 4 — completion is the acceptance signal; the
-#               row records its window and event counts.
+#               -shards 4 — the historical scale row, kept comparable
+#               across PRs.
 #
 # Usage: scripts/bench.sh [count]
 #   count  micro-benchmark repetitions per name (default 3; the JSON
@@ -27,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${1:-3}"
-OUT="BENCH_PR7.json"
+OUT="BENCH_PR9.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW" "$RAW".*' EXIT
 
@@ -65,9 +70,14 @@ go build -o "$RAW.ibsim" ./cmd/ibsim
 # one JSON document; keep the JSON.
 extract_json() { sed -n '/^{/,$p'; }
 
-echo "==> sharded-core throughput, k=8 fat-tree, shards 1 vs 4" >&2
-"$RAW.ibsim" -exp shardbench -bench-k 8 -bench-shards 1,4 \
-    | tee /dev/stderr | extract_json > "$RAW.shard8"
+echo "==> sharded-core throughput, k=32 fat-tree (1280 switches), shards 1 vs 4" >&2
+"$RAW.ibsim" -exp shardbench -bench-k 32 -bench-shards 1,4 -bench-horizon 100000 \
+    | tee /dev/stderr | extract_json > "$RAW.shard32"
+
+echo "==> dragonfly at scale (a=16 p=8 h=8: 2064 switches, 16512 hosts), shards 4" >&2
+"$RAW.ibsim" -exp shardbench -bench-class dragonfly -bench-a 16 -bench-p 8 -bench-h 8 \
+    -bench-shards 4 -bench-horizon 25000 \
+    | tee /dev/stderr | extract_json > "$RAW.dragonfly"
 
 echo "==> scale check, k=16 fat-tree (320 switches), shards 4" >&2
 "$RAW.ibsim" -exp shardbench -bench-k 16 -bench-shards 4 -bench-horizon 250000 \
@@ -80,7 +90,8 @@ BASE="$(cat scripts/bench_baseline_pr4.json)"
     echo "    \"baseline\": $BASE,"
     echo "    \"current\": $(cat "$RAW.hotpaths")"
     echo '  },'
-    echo "  \"shardedCore\": $(cat "$RAW.shard8"),"
+    echo "  \"shardedCore\": $(cat "$RAW.shard32"),"
+    echo "  \"dragonfly\": $(cat "$RAW.dragonfly"),"
     echo "  \"scaleCheck\": $(cat "$RAW.shard16")"
     echo '}'
 } > "$OUT"

@@ -57,6 +57,13 @@ echo "==> go test -race -run TestParallelShard ./internal/fabric (sharded-core r
 # detector is the proof obligation (-count=1 so it always re-runs).
 go test -race -run 'TestParallelShard' -count=1 ./internal/fabric
 
+echo "==> go test -race -run TestParallelControl ./internal/experiments (control-lane race gate)"
+# Churn and faults run their control planes — mid-run table programs,
+# retransmission, audits — as typed events serialized at window
+# barriers; the multi-shard churn/faults smoke under the race detector
+# proves the control lane never touches shard state inside a window.
+go test -race -run 'TestParallelControl' -count=1 ./internal/experiments
+
 echo "==> go test -run AllocBudget . (zero-alloc hot-path gate)"
 # testing.AllocsPerRun budgets: 0 allocs/op on arbiter pick and on a
 # full per-hop packet forwarding step with metrics disabled.  Must run
@@ -102,6 +109,18 @@ go run ./cmd/ibsim -exp scale -scale tiny -shards 1 -shard-det > /tmp/ci_shards1
 go run ./cmd/ibsim -exp scale -scale tiny -shards 4 -shard-det > /tmp/ci_shards4.out
 diff /tmp/ci_shards1.out /tmp/ci_shards4.out
 rm -f /tmp/ci_shards1.out /tmp/ci_shards4.out
+
+echo "==> ibsim churn/faults -shard-det sweep (det mode must match -shards 1)"
+# Churn and faults no longer force the single-engine mode; under
+# -shard-det their JSON must stay byte-identical at every shard count.
+for exp in churn faults; do
+    go run ./cmd/ibsim -exp "$exp" -scale tiny -shards 1 -shard-det > /tmp/ci_ctl_base.out
+    for n in 2 4 8; do
+        go run ./cmd/ibsim -exp "$exp" -scale tiny -shards "$n" -shard-det > /tmp/ci_ctl_n.out
+        diff /tmp/ci_ctl_base.out /tmp/ci_ctl_n.out
+    done
+done
+rm -f /tmp/ci_ctl_base.out /tmp/ci_ctl_n.out
 
 echo "==> ibsim -exp shardbench (parallel core smoke)"
 go run ./cmd/ibsim -exp shardbench -bench-shards 1,4 -bench-horizon 200000 >/dev/null
