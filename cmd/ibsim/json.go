@@ -172,6 +172,49 @@ func emitScaleJSON(w io.Writer, base experiments.ScaleParams, res []experiments.
 	})
 }
 
+// planReport is the machine-readable form of an analytical
+// capacity-planning sweep.
+type planReport struct {
+	BaseSeed    int64                    `json:"baseSeed"`
+	Loads       []float64                `json:"loads"`
+	Payload     int                      `json:"payload"`
+	HeadroomSL  uint8                    `json:"headroomSL"`
+	HeadroomMax int                      `json:"headroomMax"`
+	Runs        []experiments.PlanResult `json:"runs"`
+
+	// Timing is wall-clock and therefore nondeterministic; the golden
+	// files and the worker-identity test omit it (withTiming=false).
+	Timing *planTiming `json:"timing,omitempty"`
+}
+
+// planTiming logs the model's evaluation wall-clock per grid point —
+// the evidence behind the paper-reproduction claim that the plan
+// answers in microseconds what the simulator answers in minutes.
+type planTiming struct {
+	PointMicros []int64 `json:"pointMicros"`
+	TotalMicros int64   `json:"totalMicros"`
+}
+
+func emitPlanJSON(w io.Writer, base experiments.PlanParams, res []experiments.PlanResult, withTiming bool) error {
+	rep := planReport{
+		BaseSeed:    base.Seed,
+		Loads:       base.Loads,
+		Payload:     base.Payload,
+		HeadroomSL:  base.HeadroomSL,
+		HeadroomMax: base.HeadroomMax,
+		Runs:        res,
+	}
+	if withTiming {
+		t := &planTiming{PointMicros: make([]int64, len(res))}
+		for i, r := range res {
+			t.PointMicros[i] = r.ModelMicros
+			t.TotalMicros += r.ModelMicros
+		}
+		rep.Timing = t
+	}
+	return encodeIndented(w, rep)
+}
+
 // holReport is the machine-readable form of a HOL-blocking
 // switch-model sweep.
 type holReport struct {

@@ -19,6 +19,8 @@
 //	                                  # (head-of-line-blocking audit)
 //	ibsim -exp failover -scale tiny   # live link/switch failure with
 //	                                  # verified deadlock-free repair
+//	ibsim -exp plan -scale tiny       # analytical WRR capacity plan
+//	                                  # (model-predicted, no simulation)
 package main
 
 import (
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1|table2|figure4|figure5|figure6|ablation-priority|ablation-fill|ablation-vl|ablation-switch|vbr|reconfig|scaling|churn|faults|failover|scale|hol|shardbench|all")
+		exp         = flag.String("exp", "all", "experiment: "+strings.Join(experimentNames, "|"))
 		scale       = flag.String("scale", "full", "scale preset: tiny|quick|full")
 		seed        = flag.Int64("seed", 0, "override random seed (0 keeps the preset's)")
 		switches    = flag.Int("switches", 0, "override network size (0 keeps the preset's)")
@@ -61,6 +63,7 @@ func main() {
 		benchH      = flag.Int("bench-h", 8, "dragonfly global links per switch for -exp shardbench")
 		benchShards = flag.String("bench-shards", "1,2,4,8", "shard counts for -exp shardbench")
 		benchBT     = flag.Int64("bench-horizon", 0, "simulated horizon for -exp shardbench, byte times (0 = preset)")
+		headroomSL  = flag.Int("plan-headroom-sl", 4, "service level the -exp plan headroom bisection probes")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -216,6 +219,23 @@ func main() {
 		if err := emitScaleJSON(os.Stdout, base, res); err != nil {
 			fatal(err)
 		}
+	case "plan":
+		base := planParams(*scale)
+		if *seed != 0 {
+			base.Seed = *seed
+		}
+		if *headroomSL >= 0 && *headroomSL <= 255 {
+			base.HeadroomSL = uint8(*headroomSL)
+		}
+		res, err := experiments.PlanSweep(base, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintPlan(os.Stdout, res)
+		fmt.Println()
+		if err := emitPlanJSON(os.Stdout, base, res, true); err != nil {
+			fatal(err)
+		}
 	case "hol":
 		base := holParams(*scale)
 		if *seed != 0 {
@@ -270,9 +290,24 @@ func main() {
 		}
 		experiments.PrintScaling(os.Stdout, experiments.Scaling(p, ns))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		fatal(unknownExperimentError(*exp))
 	}
 	fmt.Fprintf(os.Stderr, "\n[%s in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
+}
+
+// experimentNames enumerates every value -exp accepts, in the order
+// the usage string and the unknown-experiment error present them.
+var experimentNames = []string{
+	"table1", "table2", "figure4", "figure5", "figure6",
+	"ablation-priority", "ablation-fill", "ablation-vl", "ablation-switch",
+	"vbr", "reconfig", "scaling", "churn", "faults", "failover",
+	"scale", "plan", "hol", "shardbench", "all",
+}
+
+// unknownExperimentError names the valid experiments, so a typo'd -exp
+// tells the user what the tool can actually run.
+func unknownExperimentError(exp string) error {
+	return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(experimentNames, ", "))
 }
 
 // runEvaluation executes the paired small/large-packet simulation,
@@ -381,6 +416,15 @@ func scaleParams(scale string) experiments.ScaleParams {
 		return experiments.ScaleTiny()
 	}
 	return experiments.ScaleQuick()
+}
+
+// planParams maps a scale preset onto the analytical capacity-planning
+// experiment.
+func planParams(scale string) experiments.PlanParams {
+	if scale == "tiny" {
+		return experiments.PlanTiny()
+	}
+	return experiments.PlanQuick()
 }
 
 // holParams maps a scale preset onto the HOL-blocking switch-model

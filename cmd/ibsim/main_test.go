@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseSizes(t *testing.T) {
 	got, err := parseSizes(" 8, 16,32 ")
@@ -30,5 +33,46 @@ func TestParamsPresets(t *testing.T) {
 	}
 	if _, err := params("huge"); err == nil {
 		t.Error("unknown scale accepted")
+	}
+}
+
+// TestUnknownExperimentErrorListsNames: a typo'd -exp must name every
+// experiment the tool can run, not just reject the input.
+func TestUnknownExperimentErrorListsNames(t *testing.T) {
+	err := unknownExperimentError("scael")
+	if err == nil {
+		t.Fatal("no error for unknown experiment")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"scael"`) {
+		t.Errorf("error %q does not echo the bad experiment name", msg)
+	}
+	for _, name := range experimentNames {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list experiment %q", msg, name)
+		}
+	}
+	for _, required := range []string{"scale", "plan", "churn", "failover", "hol", "all", "table2"} {
+		found := false
+		for _, name := range experimentNames {
+			if name == required {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experimentNames is missing %q", required)
+		}
+	}
+}
+
+func TestPlanParamsPresets(t *testing.T) {
+	tiny, quick := planParams("tiny"), planParams("quick")
+	if len(tiny.Specs) == 0 || len(tiny.Loads) == 0 {
+		t.Fatal("tiny plan preset is empty")
+	}
+	if len(quick.Specs) == 0 || quick.HeadroomMax <= tiny.HeadroomMax {
+		t.Errorf("quick plan preset should probe more headroom than tiny (%d vs %d)",
+			quick.HeadroomMax, tiny.HeadroomMax)
 	}
 }

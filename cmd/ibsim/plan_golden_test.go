@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestPlanJSONGolden pins the -exp plan JSON at the tiny scale (seed
+// 1) against a checked-in golden.  The report is emitted WITHOUT the
+// timing section — wall-clock is the one nondeterministic field — so
+// any diff is a real model or format change; regenerate deliberately
+// with
+//
+//	go test ./cmd/ibsim -run PlanJSONGolden -update
+func TestPlanJSONGolden(t *testing.T) {
+	base := experiments.PlanTiny()
+	res, err := experiments.PlanSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := emitPlanJSON(&buf, base, res, false); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("timing")) {
+		t.Fatal("golden encoding contains the wall-clock timing section")
+	}
+
+	golden := filepath.Join("testdata", "plan.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("plan JSON diverged from %s (rerun with -update if intended)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestPlanJSONParallelIdentical is the worker-count regression: the
+// sweep's JSON must be byte-identical whether the points run on one
+// worker or four.
+func TestPlanJSONParallelIdentical(t *testing.T) {
+	base := experiments.PlanTiny()
+	encode := func(workers int) []byte {
+		res, err := experiments.PlanSweep(base, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := emitPlanJSON(&buf, base, res, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := encode(1), encode(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("plan JSON depends on worker count: %d bytes serial, %d parallel",
+			len(serial), len(parallel))
+	}
+}
+
+// TestPlanJSONShape checks the invariants scripts rely on: the sweep
+// covers every (spec, load) point of the grid in order, every point
+// admitted connections and evaluated lanes, the heavy load level is
+// flagged unstable on every topology class, and the hot-lane list is
+// bounded and utilization-sorted.
+func TestPlanJSONShape(t *testing.T) {
+	base := experiments.PlanTiny()
+	res, err := experiments.PlanSweep(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emitPlanJSON(&buf, base, res, false); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Runs []struct {
+			Label          string  `json:"label"`
+			Load           float64 `json:"load"`
+			Admitted       int     `json:"admitted"`
+			Lanes          int     `json:"lanes"`
+			SaturatedLanes int     `json:"saturatedLanes"`
+			Stable         bool    `json:"stable"`
+			HotLanes       []struct {
+				Port        string  `json:"port"`
+				Utilization float64 `json:"utilization"`
+			} `json:"hotLanes"`
+			HeadroomLimit string `json:"headroomLimit"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if want := len(base.Specs) * len(base.Loads); len(rep.Runs) != want {
+		t.Fatalf("sweep has %d runs, want %d", len(rep.Runs), want)
+	}
+	i := 0
+	for _, spec := range base.Specs {
+		for _, load := range base.Loads {
+			r := rep.Runs[i]
+			if r.Label != spec.Label() || r.Load != load {
+				t.Errorf("run %d is (%s, %g), want (%s, %g)", i, r.Label, r.Load, spec.Label(), load)
+			}
+			if r.Admitted == 0 {
+				t.Errorf("run %d admitted no connections", i)
+			}
+			if r.Lanes == 0 {
+				t.Errorf("run %d evaluated no lanes", i)
+			}
+			if load >= 1000 && r.Stable {
+				t.Errorf("run %d (%s, load %g): heavy load reported stable", i, r.Label, load)
+			}
+			if r.Stable != (r.SaturatedLanes == 0) {
+				t.Errorf("run %d: stable=%v with %d saturated lanes", i, r.Stable, r.SaturatedLanes)
+			}
+			if len(r.HotLanes) == 0 || len(r.HotLanes) > 8 {
+				t.Errorf("run %d: %d hot lanes, want 1..8", i, len(r.HotLanes))
+			}
+			for j := 1; j < len(r.HotLanes); j++ {
+				if r.HotLanes[j].Utilization > r.HotLanes[j-1].Utilization {
+					t.Errorf("run %d: hot lanes not utilization-sorted at %d", i, j)
+				}
+			}
+			for _, h := range r.HotLanes {
+				if !strings.HasPrefix(h.Port, "host ") && !strings.HasPrefix(h.Port, "switch ") {
+					t.Errorf("run %d: hot lane port label %q", i, h.Port)
+				}
+			}
+			if r.HeadroomLimit == "" {
+				t.Errorf("run %d: empty headroom limit", i)
+			}
+			i++
+		}
+	}
+}

@@ -252,27 +252,29 @@ func (c *Controller) Ports() *Ports { return c.ports }
 func (c *Controller) Live() int { return len(c.live) }
 
 // site is one arbitration point of a path: its identity, its table,
-// and the switch whose forwarding decision governs the hop's wire VL
-// (the source's switch for the host interface — the injection VL
-// matches the first switch hop's plane).
+// and the wire VL the reservation lands on there.
 type site struct {
 	id    PortID
 	table *core.PortTable
-	vlSw  int
+	vl    uint8
 }
 
-// pathSites returns the arbitration points of a route in order: the
-// source host interface, then each switch's output port along the
-// path (the last one being the destination host port).
-func (c *Controller) pathSites(src, dst int) ([]site, error) {
-	switches, err := c.routes.PathSwitches(src, dst)
+// pathSites returns the arbitration points of a route in order — the
+// source host interface, then each switch's output port along the path
+// (the last one being the destination host port) — with each hop's
+// wire VL resolved from the base VL via routing.PathHops.
+func (c *Controller) pathSites(src, dst int, base uint8) ([]site, error) {
+	hops, err := c.routes.PathHops(src, dst, base)
 	if err != nil {
 		return nil, err
 	}
-	sites := []site{{id: HostPortID(src), table: c.ports.Host[src], vlSw: switches[0]}}
-	for _, sw := range switches {
-		port := c.routes.NextPort(sw, dst)
-		sites = append(sites, site{id: SwitchPortID(sw, port), table: c.ports.Switch[sw][port], vlSw: sw})
+	sites := make([]site, len(hops))
+	for i, h := range hops {
+		if h.Switch < 0 {
+			sites[i] = site{id: HostPortID(src), table: c.ports.Host[src], vl: h.WireVL}
+			continue
+		}
+		sites[i] = site{id: SwitchPortID(h.Switch, h.Port), table: c.ports.Switch[h.Switch][h.Port], vl: h.WireVL}
 	}
 	return sites, nil
 }
@@ -294,7 +296,7 @@ func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 	if d, ok := c.Distances[req.Level.SL]; ok {
 		distance = d
 	}
-	sites, err := c.pathSites(req.Src, req.Dst)
+	sites, err := c.pathSites(req.Src, req.Dst, base)
 	if err != nil {
 		return nil, err
 	}
@@ -323,10 +325,7 @@ func (c *Controller) Admit(req traffic.Request) (*Conn, error) {
 			return nil, fmt.Errorf("admission: hop %d/%d over budget (%d + %d > %d)",
 				i+1, len(sites), tb.ReservedWeight(), weight, c.Budget)
 		}
-		// The hop's wire VL: the base VL shifted into the routing
-		// engine's escape plane at this point of the path (identity for
-		// single-plane engines).
-		res, err := tb.Reserve(c.routes.HopVL(st.vlSw, req.Dst, base), distance, weight)
+		res, err := tb.Reserve(st.vl, distance, weight)
 		if err != nil {
 			c.abort(conn)
 			return nil, fmt.Errorf("admission: hop %d/%d: %w", i+1, len(sites), err)

@@ -54,7 +54,7 @@ func TestAbortAtLastHopLeavesEarlierHopsUntouched(t *testing.T) {
 		t.Fatal("destination port still has capacity; saturation failed")
 	}
 
-	sites, err := c.pathSites(0, dst)
+	sites, err := c.pathSites(0, dst, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -214,6 +214,77 @@ func (t *Table) ServiceShare(vl uint8) float64 {
 	return float64(own) / float64(total)
 }
 
+// HighWeightForVL returns the total high-table weight allocated to a
+// VL (summing every slot that names it — collapsed mappings place
+// several reservations on one lane).  Zero for absent VLs.
+func (t *Table) HighWeightForVL(vl uint8) int {
+	w := 0
+	for _, e := range t.High {
+		if !e.IsFree() && e.VL == vl {
+			w += int(e.Weight)
+		}
+	}
+	return w
+}
+
+// LowWeight returns the total weight of the low-priority table.
+func (t *Table) LowWeight() int {
+	w := 0
+	for _, e := range t.Low {
+		w += int(e.Weight)
+	}
+	return w
+}
+
+// LowWeightForVL returns the total low-table weight allocated to a VL.
+// Multi-plane fabrics install the best-effort entries once per escape
+// plane, so a lane's weight is the sum over its entries.
+func (t *Table) LowWeightForVL(vl uint8) int {
+	w := 0
+	for _, e := range t.Low {
+		if !e.IsFree() && e.VL == vl {
+			w += int(e.Weight)
+		}
+	}
+	return w
+}
+
+// LowServiceShare returns the fraction of low-priority service a VL is
+// guaranteed when every low lane is backlogged, mirroring ServiceShare
+// for the low table.  Zero when the table is empty or the VL absent.
+func (t *Table) LowServiceShare(vl uint8) float64 {
+	total := t.LowWeight()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.LowWeightForVL(vl)) / float64(total)
+}
+
+// HighLimitFraction returns the fraction of link bandwidth the
+// high-priority table keeps when both tables are backlogged, given the
+// wire sizes of the competing packets.  The arbiter preempts the high
+// table once it has sent Limit*LimitUnit bytes while a low packet
+// waits (arbiter.limitExceeded), then serves exactly one low packet:
+// the steady-state cycle is max(Limit*LimitUnit, hiWire) high bytes
+// followed by loWire low bytes.  UnlimitedHigh never preempts (1.0);
+// Limit 0 alternates single packets.  A non-positive wire size returns
+// 1.0 — there is no competing packet to yield to.
+func (t *Table) HighLimitFraction(hiWire, loWire int) float64 {
+	if t.Limit == UnlimitedHigh {
+		return 1.0
+	}
+	if hiWire <= 0 || loWire <= 0 {
+		return 1.0
+	}
+	hiBytes := int(t.Limit) * LimitUnit
+	if hiBytes < hiWire {
+		// The high table always completes the packet in flight: even
+		// Limit 0 sends one whole high packet per cycle.
+		hiBytes = hiWire
+	}
+	return float64(hiBytes) / float64(hiBytes+loWire)
+}
+
 // String renders the table compactly: occupied high slots as
 // "pos:VLv*w" plus the low table and limit.
 func (t *Table) String() string {

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/topology"
+)
+
+// TestPlanSpeedupOverSimulation is the acceptance-criterion speed
+// check: the analytical model must evaluate a k=8 fat-tree grid point
+// at least 100x faster than the equivalent scale simulation.  The
+// assertion only engages when the simulation is slow enough for the
+// ratio to be meaningful on a noisy machine.
+func TestPlanSpeedupOverSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating a k=8 fat tree is not short")
+	}
+	spec := topology.Spec{Class: topology.FatTree, K: 8}
+	const load, seed = 1.0, 1
+
+	start := time.Now()
+	res, err := plan.Evaluate(spec, load, seed, plan.Options{Payload: 512, MaxConsecutiveRejects: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelDur := time.Since(start)
+	if res.Admitted == 0 {
+		t.Fatal("model point admitted nothing")
+	}
+
+	sp := ScaleTiny()
+	start = time.Now()
+	sim, err := ScalePoint(sp, spec, load, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDur := time.Since(start)
+	if sim.Admitted != res.Admitted {
+		t.Errorf("model admitted %d, simulator %d; the comparison is not like-for-like", res.Admitted, sim.Admitted)
+	}
+
+	t.Logf("k=8 fat tree, load %g: model %s, simulation %s (%.0fx)",
+		load, modelDur, simDur, float64(simDur)/float64(modelDur))
+	if simDur > 100*time.Millisecond && simDur < 100*modelDur {
+		t.Errorf("model took %s vs simulation %s; want at least 100x faster", modelDur, simDur)
+	}
+}

@@ -317,32 +317,11 @@ func New(cfg Config) (*Network, error) {
 // one degraded by a link failure — instead of generating a fresh one.
 // cfg.Switches must match the topology.
 func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if topo.NumSwitches != cfg.Switches {
-		return nil, fmt.Errorf("fabric: topology has %d switches, config says %d",
-			topo.NumSwitches, cfg.Switches)
-	}
-	routes, err := routing.ComputeFor(topo)
+	cs, err := BuildControl(cfg, topo)
 	if err != nil {
 		return nil, err
 	}
-	// A multi-plane routing engine owns the upper data VLs as escape
-	// copies of the lower ones, so the SLtoVL mapping must collapse
-	// onto the base plane.
-	dataVLs := cfg.DataVLs
-	if base := routes.BaseVLs(); routes.Planes() > 1 && (dataVLs == 0 || dataVLs > base) {
-		dataVLs = base
-	}
-	mapping := sl.IdentityMapping()
-	if dataVLs > 0 && dataVLs < arbtable.NumDataVLs {
-		mapping, err = sl.CollapsedMapping(dataVLs)
-		if err != nil {
-			return nil, err
-		}
-	}
-	ports := admission.NewPorts(topo, cfg.Limit)
+	routes, mapping, ports := cs.Routes, cs.Mapping, cs.Ports
 
 	shardCount := cfg.Shards
 	if shardCount < 1 {
@@ -373,7 +352,7 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		Routes:  routes,
 		Mapping: mapping,
 		Engine:  eng,
-		Adm:     admission.NewController(topo, routes, mapping, ports),
+		Adm:     cs.Adm,
 		rng:     rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
 		planes:  routes.Planes(),
 
@@ -406,50 +385,12 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		}
 		n.shards[k] = sh
 	}
-	// Reservations must cover wire bytes, not just payload, so that
-	// the header overhead of small packets cannot erode guarantees.
-	n.Adm.WireFactor = float64(cfg.PayloadBytes+sl.HeaderBytes) / float64(cfg.PayloadBytes)
-	n.Adm.PacketWire = cfg.PayloadBytes + sl.HeaderBytes
-	if dataVLs > 0 && dataVLs < arbtable.NumDataVLs {
-		n.Adm.Distances = sl.EffectiveDistances(sl.DefaultLevels, mapping)
-	}
-
-	low := []arbtable.Entry{
-		{VL: mapping.VLFor(sl.PBESL), Weight: cfg.LowWeights[0]},
-		{VL: mapping.VLFor(sl.BESL), Weight: cfg.LowWeights[1]},
-		{VL: mapping.VLFor(sl.CHSL), Weight: cfg.LowWeights[2]},
-	}
-	// Multi-plane engines carry best-effort traffic on the escape
-	// copies of the base VLs too; without low-table entries for them
-	// those lanes would never be scheduled.
-	for plane := 1; plane < n.planes; plane++ {
-		for _, e := range low[:3] {
-			low = append(low, arbtable.Entry{
-				VL: sl.PlaneVL(e.VL, plane, n.planes), Weight: e.Weight,
-			})
-		}
-	}
-	if cfg.FailoverEscape {
-		// Weight-1 escape entries for every data VL not already served
-		// by the low table, so lanes whose reservations a failure
-		// recovery released keep draining (see Config.FailoverEscape).
-		var have [arbtable.NumDataVLs]bool
-		for _, e := range low {
-			have[e.VL] = true
-		}
-		for vl := 0; vl < arbtable.NumDataVLs; vl++ {
-			if !have[vl] {
-				low = append(low, arbtable.Entry{VL: uint8(vl), Weight: 1})
-			}
-		}
-	}
-
 	// Hosts.  The arbiters schedule from the ACTIVE (data-plane) table
 	// of each port; admission writes the shadow and commits deltas.
+	// BuildControl already seeded every port's low-priority table.
 	n.hosts = make([]*hostNode, topo.NumHosts())
 	for h := range n.hosts {
 		pt := ports.Host[h]
-		pt.SetLow(low)
 		sw, port := topo.HostSwitch(h)
 		node := &hostNode{
 			id: h,
@@ -470,7 +411,6 @@ func NewWithTopology(cfg Config, topo *topology.Topology) (*Network, error) {
 		node := &swNode{id: s}
 		for p := 0; p < topology.SwitchPorts; p++ {
 			pt := ports.Switch[s][p]
-			pt.SetLow(low)
 			op := &node.out[p]
 			op.arb = arbtable.NewArbiter(pt.Active())
 			op.pt = pt

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzPlanSpec throws degenerate topology shapes, hostile load factors
+// and arbitrary seeds at the planner.  The contract under fuzz: either
+// a clean error or a fully finite result — never a panic, never a NaN
+// or Inf smuggled into a report field.
+func FuzzPlanSpec(f *testing.F) {
+	f.Add(uint8(0), 4, int64(42), 2, 2, 1, 1, 1.0, int64(1))
+	f.Add(uint8(1), 0, int64(0), 2, 0, 0, 0, 0.5, int64(7))
+	f.Add(uint8(2), 0, int64(0), 0, 2, 1, 1, 2000.0, int64(3))
+	f.Add(uint8(0), 1, int64(-1), 0, 0, 0, 0, -1.0, int64(0))
+	f.Add(uint8(1), 0, int64(0), 64, 0, 0, 0, 1e9, int64(1))
+	f.Add(uint8(2), 0, int64(0), 0, 1, 0, 9, 0.0, int64(-5))
+	f.Add(uint8(3), 1000000, int64(1), 3, 3, 3, 3, math.Inf(1), int64(2))
+
+	f.Fuzz(func(t *testing.T, class uint8, switches int, topoSeed int64, k, a, p, h int, load float64, seed int64) {
+		spec := topology.Spec{
+			Class:    topology.Class(class % 3),
+			Switches: switches, Seed: topoSeed,
+			K: k, A: a, P: p, H: h,
+		}
+		// Cap the shapes the fuzzer explores: a legal-but-huge fat tree
+		// is a capacity question, not a robustness one, and would only
+		// slow the corpus down.
+		if k > 8 || a > 8 || p > 4 || h > 4 || switches > 64 {
+			t.Skip("shape too large for fuzz budget")
+		}
+		res, err := Evaluate(spec, load, seed, Options{})
+		if err != nil {
+			return // rejected inputs are fine; panics and NaNs are not
+		}
+		for _, ln := range res.Lanes {
+			for _, v := range []float64{ln.Demand, ln.Alloc, ln.Potential, ln.Utilization, ln.WaitBT, ln.QueuePkts} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("lane (%v, VL %d) carries non-finite or negative value %g", ln.Port, ln.VL, v)
+				}
+			}
+		}
+		for i, fl := range res.Flows {
+			for _, v := range []float64{fl.Scale, fl.LatencyBT, fl.RatioToDeadline} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("flow %d carries non-finite or negative value %g", i, v)
+				}
+			}
+		}
+		for _, v := range []float64{res.MaxUtilization, res.OfferedBPCNode, res.PredictedBPCNode, res.MeanDelayRatio, res.MeanQueuePkts} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("aggregate carries non-finite or negative value %g", v)
+			}
+		}
+		if res.Admitted <= 0 {
+			t.Fatalf("successful evaluation admitted %d connections", res.Admitted)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package plan
+
+// waterfill computes the weighted max-min allocation of a capacity
+// over demands: every unsatisfied demand grows in proportion to its
+// weight until it is met or the capacity is exhausted.  This is the
+// fluid limit of the weighted round-robin tables the arbiter cycles —
+// an entry visited with weight w transmits w 64-byte units per
+// rotation, so backlogged lanes drain in weight proportion while lanes
+// offering less than their share are met exactly (the arbiter skips
+// empty lanes; it is work-conserving).  Zero-weight demands receive
+// nothing: a lane without a table entry is never scheduled.
+func waterfill(capacity float64, dem, w []float64) []float64 {
+	alloc := make([]float64, len(dem))
+	done := make([]bool, len(dem))
+	for i := range dem {
+		if dem[i] <= 0 || w[i] <= 0 {
+			done[i] = true
+		}
+	}
+	const eps = 1e-15
+	for capacity > eps {
+		totW := 0.0
+		for i := range dem {
+			if !done[i] {
+				totW += w[i]
+			}
+		}
+		if totW <= 0 {
+			break
+		}
+		share := capacity / totW
+		progress := false
+		for i := range dem {
+			if done[i] {
+				continue
+			}
+			if need := dem[i] - alloc[i]; need <= share*w[i]+eps {
+				alloc[i] = dem[i]
+				capacity -= need
+				done[i] = true
+				progress = true
+			}
+		}
+		if !progress {
+			// No remaining demand fits inside its share: the capacity
+			// splits in weight proportion and everyone stays backlogged.
+			for i := range dem {
+				if !done[i] {
+					alloc[i] += share * w[i]
+					done[i] = true
+				}
+			}
+			break
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestWaterfillUnderload(t *testing.T) {
+	// Total demand below capacity: every lane is met exactly.
+	dem := []float64{0.2, 0.3, 0.1}
+	alloc := waterfill(1.0, dem, []float64{1, 5, 2})
+	for i := range dem {
+		if math.Abs(alloc[i]-dem[i]) > 1e-12 {
+			t.Errorf("lane %d: alloc %g, want demand %g met exactly", i, alloc[i], dem[i])
+		}
+	}
+}
+
+func TestWaterfillOverloadSplitsByWeight(t *testing.T) {
+	// All lanes backlogged: capacity splits in exact weight proportion.
+	alloc := waterfill(1.0, []float64{2, 2, 2}, []float64{8, 4, 4})
+	want := []float64{0.5, 0.25, 0.25}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > 1e-12 {
+			t.Errorf("lane %d: alloc %g, want weight share %g", i, alloc[i], want[i])
+		}
+	}
+	if math.Abs(sum(alloc)-1.0) > 1e-12 {
+		t.Errorf("overloaded fill is not work-conserving: sum %g", sum(alloc))
+	}
+}
+
+func TestWaterfillMaxMinRedistribution(t *testing.T) {
+	// A small demand is satisfied and its leftover share flows to the
+	// backlogged lanes (the max-min property WRR converges to: served
+	// lanes' unused slots are skipped, not wasted).
+	alloc := waterfill(1.0, []float64{0.1, 5, 5}, []float64{1, 1, 1})
+	if math.Abs(alloc[0]-0.1) > 1e-12 {
+		t.Errorf("small lane got %g, want its full 0.1", alloc[0])
+	}
+	for i := 1; i < 3; i++ {
+		if math.Abs(alloc[i]-0.45) > 1e-12 {
+			t.Errorf("backlogged lane %d got %g, want redistributed 0.45", i, alloc[i])
+		}
+	}
+}
+
+func TestWaterfillZeroWeightGetsNothing(t *testing.T) {
+	// A lane with no table entry is never scheduled no matter its demand.
+	alloc := waterfill(1.0, []float64{3, 0.2}, []float64{0, 7})
+	if alloc[0] != 0 {
+		t.Errorf("zero-weight lane got %g, want 0", alloc[0])
+	}
+	if math.Abs(alloc[1]-0.2) > 1e-12 {
+		t.Errorf("weighted lane got %g, want its demand 0.2", alloc[1])
+	}
+}
+
+func TestWaterfillEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		cap  float64
+		dem  []float64
+		w    []float64
+	}{
+		{"empty", 1, nil, nil},
+		{"zero capacity", 0, []float64{1, 2}, []float64{1, 1}},
+		{"negative capacity", -0.5, []float64{1}, []float64{1}},
+		{"all zero demand", 1, []float64{0, 0}, []float64{1, 1}},
+		{"all zero weight", 1, []float64{1, 1}, []float64{0, 0}},
+		{"negative demand", 1, []float64{-2, 0.5}, []float64{1, 1}},
+		{"tiny weights", 1, []float64{2, 2}, []float64{1e-12, 1e-12}},
+		{"huge demand", 1, []float64{1e18, 1e18}, []float64{3, 1}},
+	}
+	for _, tc := range cases {
+		alloc := waterfill(tc.cap, tc.dem, tc.w)
+		if len(alloc) != len(tc.dem) {
+			t.Fatalf("%s: %d allocations for %d demands", tc.name, len(alloc), len(tc.dem))
+		}
+		total := 0.0
+		for i, a := range alloc {
+			if math.IsNaN(a) || math.IsInf(a, 0) || a < 0 {
+				t.Errorf("%s: lane %d allocation %g not a finite non-negative number", tc.name, i, a)
+			}
+			if tc.dem[i] > 0 && a > tc.dem[i]+1e-9 {
+				t.Errorf("%s: lane %d allocated %g beyond demand %g", tc.name, i, a, tc.dem[i])
+			}
+			total += a
+		}
+		if tc.cap > 0 && total > tc.cap+1e-9 {
+			t.Errorf("%s: allocated %g beyond capacity %g", tc.name, total, tc.cap)
+		}
+	}
+}

@@ -295,6 +295,42 @@ func (r *Routes) PathSwitches(srcHost, dstHost int) ([]int, error) {
 	return path, nil
 }
 
+// Hop is one arbitration point of a host-to-host path: the
+// transmitting element (the source host interface when Switch is -1,
+// a switch output port otherwise) and the wire VL a packet with the
+// given base VL occupies on the link it transmits into.
+type Hop struct {
+	Switch int   // transmitting switch, -1 for the source host interface
+	Port   int   // output port within the switch, -1 for the host interface
+	WireVL uint8 // lane occupied on the hop's outgoing link
+}
+
+// PathHops returns the arbitration points of a route in order — the
+// source host interface, then each switch's output port along the path
+// (the last one being the destination host port) — each annotated with
+// the wire VL a packet of the given base VL travels on there (the base
+// shifted into the routing engine's escape plane, identity for
+// single-plane engines).  Admission control reserves weight at exactly
+// these sites, and the analytical capacity planner accumulates offered
+// load over them, so the two agree on the path by construction.
+func (r *Routes) PathHops(srcHost, dstHost int, base uint8) ([]Hop, error) {
+	switches, err := r.PathSwitches(srcHost, dstHost)
+	if err != nil {
+		return nil, err
+	}
+	hops := make([]Hop, 0, len(switches)+1)
+	// The injection VL matches the first switch hop's plane.
+	hops = append(hops, Hop{Switch: -1, Port: -1, WireVL: r.HopVL(switches[0], dstHost, base)})
+	for _, sw := range switches {
+		hops = append(hops, Hop{
+			Switch: sw,
+			Port:   r.NextPort(sw, dstHost),
+			WireVL: r.HopVL(sw, dstHost, base),
+		})
+	}
+	return hops, nil
+}
+
 // CheckLegal verifies that every switch-to-switch route follows the
 // up*/down* rule (no up move after a down move) and terminates.  Used
 // by tests and the simulator's self-checks.

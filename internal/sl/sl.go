@@ -200,6 +200,27 @@ func CollapsedMapping(numDataVLs int) (Mapping, error) {
 	return m, nil
 }
 
+// MappingFor resolves the SLtoVL mapping a fabric must install for a
+// routing engine that claims the given number of escape planes: a
+// multi-plane engine owns the upper data VLs as escape copies of the
+// lower ones, so the mapping collapses onto the base plane; otherwise
+// dataVLs picks the collapse directly (0 or NumDataVLs keeps the
+// identity).  It returns the mapping plus the effective data-VL count
+// after the plane adjustment (0 when no collapse applies).  The fabric
+// simulator and the analytical capacity planner both derive their
+// control state through this one helper, so the tables they reason
+// about are identical by construction.
+func MappingFor(dataVLs, planes int) (Mapping, int, error) {
+	if base := PlaneBaseVLs(planes); planes > 1 && (dataVLs == 0 || dataVLs > base) {
+		dataVLs = base
+	}
+	if dataVLs > 0 && dataVLs < arbtable.NumDataVLs {
+		m, err := CollapsedMapping(dataVLs)
+		return m, dataVLs, err
+	}
+	return IdentityMapping(), dataVLs, nil
+}
+
 // EffectiveDistances returns, for each QoS service level, the most
 // restrictive distance among the levels sharing its virtual lane under
 // the mapping.  With the identity mapping every SL keeps its own

@@ -84,6 +84,7 @@ if [[ "$RUN_FUZZ" -eq 1 ]]; then
 ./internal/faults FuzzFailureSchedule
 ./internal/topology FuzzTopologyGenerate
 ./internal/fabric FuzzISLIPSchedule
+./internal/plan FuzzPlanSpec
 EOF
 fi
 
@@ -101,6 +102,9 @@ go run ./cmd/ibsim -exp scale -scale tiny >/dev/null
 
 echo "==> ibsim -exp hol -scale tiny (smoke)"
 go run ./cmd/ibsim -exp hol -scale tiny >/dev/null
+
+echo "==> ibsim -exp plan -scale tiny (analytical capacity-plan smoke)"
+go run ./cmd/ibsim -exp plan -scale tiny >/dev/null
 
 echo "==> ibsim -shards 4 golden smoke (det mode must match -shards 1)"
 # The deterministic shard mode pins every shard to one engine, so the
